@@ -1,0 +1,452 @@
+package boolq
+
+// The benchmark harness: one benchmark family per experiment of DESIGN.md
+// §4 (E1–E11). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers depend on the machine; the shapes the paper
+// predicts (naive ≫ optimized, exact-region filter ≫ bbox filter,
+// compile-time growth with variable count, index ≪ scan) are asserted
+// qualitatively by the tests in internal/experiments and reported in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/bcf"
+	"repro/internal/constraint"
+	"repro/internal/formula"
+	"repro/internal/query"
+	"repro/internal/region"
+	"repro/internal/rtree"
+	"repro/internal/spatialdb"
+	"repro/internal/triangular"
+	"repro/internal/workload"
+	"repro/internal/zorder"
+)
+
+// ---- E1/E6: smuggler query, naive vs optimized, across map scales ----
+
+func smugglerSetup(scale int) (*spatialdb.Store, map[string]*region.Region) {
+	m := workload.GenMap(workload.MapConfig{
+		Seed:  42,
+		Towns: 12 * scale, Interior: 12 * scale, Roads: 30 * scale,
+	})
+	store := spatialdb.NewStore(m.Config.Universe, spatialdb.RTree)
+	m.Populate(store)
+	return store, map[string]*region.Region{"C": m.Country, "A": m.Area}
+}
+
+func BenchmarkE1SmugglerNaive(b *testing.B) {
+	store, params := smugglerSetup(1)
+	q := query.Smuggler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.RunNaive(q, store, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1SmugglerOptimized(b *testing.B) {
+	store, params := smugglerSetup(1)
+	plan, err := query.Compile(query.Smuggler(), store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(store, params, query.DefaultOptions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Pruning(b *testing.B) {
+	for _, scale := range []int{1, 2, 4} {
+		store, params := smugglerSetup(scale)
+		q := query.Smuggler()
+		plan, err := query.Compile(q, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("naive/scale-%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := query.RunNaive(q, store, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("optimized/scale-%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Run(store, params, query.DefaultOptions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E5: point-transform range query vs direct scan ----
+
+func BenchmarkE5PointTransform(b *testing.B) {
+	rng := workload.NewRNG(5)
+	spec := bbox.RangeSpec{
+		K: 2, Lower: bbox.Empty(2), Upper: bbox.Rect(100, 100, 400, 400),
+		Overlaps: []bbox.Box{bbox.Rect(200, 200, 260, 260)},
+	}
+	for _, kind := range []spatialdb.IndexKind{spatialdb.Scan, spatialdb.PointRTree, spatialdb.Grid} {
+		store := spatialdb.NewStore(bbox.Rect(0, 0, 1000, 1000), kind)
+		for i := 0; i < 5000; i++ {
+			x, y := rng.Range(0, 990), rng.Range(0, 990)
+			store.MustInsert("objs", "", region.FromBox(bbox.Rect(x, y, x+5, y+5)))
+		}
+		layer := store.Layer("objs")
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				layer.Search(spec, func(spatialdb.Object) bool {
+					n++
+					return true
+				})
+			}
+		})
+	}
+}
+
+// ---- E8: exact region filtering vs bounding-box functions ----
+
+func BenchmarkE8FilterExact(b *testing.B) {
+	store, params := smugglerSetup(2)
+	plan, err := query.Compile(query.Smuggler(), store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(store, params, query.Options{UseIndex: false, UseExact: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8FilterBBox(b *testing.B) {
+	store, params := smugglerSetup(2)
+	plan, err := query.Compile(query.Smuggler(), store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(store, params, query.Options{UseIndex: true, UseExact: false}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E9: overlay join — pipeline vs z-order vs nested loop ----
+
+func joinSetup(n int) (*spatialdb.Store, []zorder.Item, []zorder.Item, []*region.Region, []*region.Region) {
+	rng := workload.NewRNG(9)
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 1024, 1024), spatialdb.RTree)
+	var as, bs []zorder.Item
+	var aR, bR []*region.Region
+	for i := 0; i < n; i++ {
+		x, y := rng.Range(0, 1000), rng.Range(0, 1000)
+		r := region.FromBox(bbox.Rect(x, y, x+10, y+10))
+		o := store.MustInsert("as", "", r)
+		as = append(as, zorder.Item{ID: o.ID, Box: o.Box})
+		aR = append(aR, r)
+		x, y = rng.Range(0, 1000), rng.Range(0, 1000)
+		r = region.FromBox(bbox.Rect(x, y, x+10, y+10))
+		o = store.MustInsert("bs", "", r)
+		bs = append(bs, zorder.Item{ID: o.ID, Box: o.Box})
+		bR = append(bR, r)
+	}
+	return store, as, bs, aR, bR
+}
+
+func BenchmarkE9Join(b *testing.B) {
+	store, as, bs, aR, bR := joinSetup(300)
+	q := query.New()
+	xa, xb := q.Sys.Var("x"), q.Sys.Var("y")
+	q.Sys.Overlap(xa, xb)
+	q.From("x", "as").From("y", "bs")
+	plan, err := query.Compile(q, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := zorder.NewSpace(bbox.Rect(0, 0, 1024, 1024))
+
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Run(store, nil, query.DefaultOptions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("zorder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			space.Join(as, bs, 32)
+		}
+	})
+	b.Run("nested", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for x := range aR {
+				for y := range bR {
+					if aR[x].Overlaps(bR[y]) {
+						n++
+					}
+				}
+			}
+		}
+	})
+}
+
+// ---- E10: compile-time scaling with variable count ----
+
+func BenchmarkE10Compile(b *testing.B) {
+	for _, n := range []int{2, 4, 6, 8} {
+		s := constraint.NewSystem()
+		vars := make([]*formula.Formula, n)
+		for i := 0; i < n; i++ {
+			vars[i] = s.Var(fmt.Sprintf("x%d", i))
+		}
+		c := s.Var("C")
+		for i := 0; i+1 < n; i++ {
+			s.Subset(vars[i], vars[i+1])
+		}
+		for i := 0; i < n; i++ {
+			s.Overlap(vars[i], c)
+		}
+		s.Subset(vars[n-1], c)
+		norm := s.Normalize()
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		b.Run(fmt.Sprintf("vars-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := triangular.Compile(norm, order); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E11: identical plan over the four index backends ----
+
+func BenchmarkE11Indexes(b *testing.B) {
+	for _, kind := range []spatialdb.IndexKind{spatialdb.Scan, spatialdb.RTree, spatialdb.PointRTree, spatialdb.Grid} {
+		m := workload.GenMap(workload.MapConfig{Seed: 21, Roads: 60, Towns: 24, Interior: 24})
+		store := spatialdb.NewStore(m.Config.Universe, kind)
+		m.Populate(store)
+		params := map[string]*region.Region{"C": m.Country, "A": m.Area}
+		plan, err := query.Compile(query.Smuggler(), store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Run(store, params, query.DefaultOptions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Microbenchmarks of the core algorithms ----
+
+func BenchmarkBCF(b *testing.B) {
+	x, y, z, w := formula.Var(0), formula.Var(1), formula.Var(2), formula.Var(3)
+	f := formula.OrN(
+		formula.And(formula.Not(x), y),
+		formula.And(x, y),
+		formula.AndN(x, z, formula.Not(w)),
+		formula.And(formula.Not(z), w),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bcf.BCF(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProjection(b *testing.B) {
+	x, y, z := formula.Var(0), formula.Var(1), formula.Var(2)
+	n := constraint.Normal{
+		F: formula.Or(formula.Diff(x, y), formula.Diff(y, z)),
+		G: []*formula.Formula{formula.And(x, z), formula.And(formula.Not(x), y)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := triangular.Proj(n, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegionOps(b *testing.B) {
+	rng := workload.NewRNG(3)
+	u := bbox.Rect(0, 0, 100, 100)
+	regs := make([]*region.Region, 32)
+	for i := range regs {
+		regs[i] = workload.RandRegion(rng, u, 4)
+	}
+	b.Run("intersect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			regs[i%32].Intersect(regs[(i+7)%32])
+		}
+	})
+	b.Run("union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			regs[i%32].Union(regs[(i+7)%32])
+		}
+	})
+	b.Run("complement", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			regs[i%32].ComplementIn(u)
+		}
+	})
+	b.Run("bbox-meet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			regs[i%32].BoundingBox().Meet(regs[(i+7)%32].BoundingBox())
+		}
+	})
+}
+
+func BenchmarkRTree(b *testing.B) {
+	rng := workload.NewRNG(11)
+	boxes := make([]bbox.Box, 10000)
+	for i := range boxes {
+		x, y := rng.Range(0, 990), rng.Range(0, 990)
+		boxes[i] = bbox.Rect(x, y, x+5, y+5)
+	}
+	b.Run("insert-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := rtree.New(2)
+			for j, box := range boxes {
+				if err := tr.Insert(box, int64(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	tr := rtree.New(2)
+	for j, box := range boxes {
+		if err := tr.Insert(box, int64(j)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := bbox.Rect(300, 300, 350, 350)
+	b.Run("search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.SearchOverlap(q, func(rtree.Entry) bool { return true })
+		}
+	})
+}
+
+func BenchmarkQueryCompile(b *testing.B) {
+	store, _ := smugglerSetup(1)
+	q := query.Smuggler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Compile(q, store); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E12/E14 and substrate extensions ----
+
+func BenchmarkE12OrderPlanning(b *testing.B) {
+	store, params := smugglerSetup(1)
+	q := query.Smuggler()
+	b.Run("static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			query.SuggestOrder(q, store)
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := query.SuggestOrderSampled(q, store, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE13RTreeBuild(b *testing.B) {
+	rng := workload.NewRNG(31)
+	entries := make([]rtree.Entry, 10000)
+	for i := range entries {
+		x, y := rng.Range(0, 990), rng.Range(0, 990)
+		entries[i] = rtree.Entry{Box: bbox.Rect(x, y, x+5, y+5), ID: int64(i)}
+	}
+	b.Run("insert-quadratic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := rtree.New(2, rtree.WithSplit(rtree.QuadraticSplit))
+			for _, e := range entries {
+				if err := tr.Insert(e.Box, e.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("insert-linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := rtree.New(2, rtree.WithSplit(rtree.LinearSplit))
+			for _, e := range entries {
+				if err := tr.Insert(e.Box, e.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("bulk-STR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rtree.BulkLoad(2, entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE14Parallel(b *testing.B) {
+	store, params := smugglerSetup(4)
+	plan, err := query.Compile(query.Smuggler(), store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.RunParallel(store, params, query.DefaultOptions, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkZOrderIndexSearch(b *testing.B) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 1000, 1000), spatialdb.ZOrderIdx)
+	rng := workload.NewRNG(5)
+	for i := 0; i < 5000; i++ {
+		x, y := rng.Range(0, 990), rng.Range(0, 990)
+		store.MustInsert("objs", "", region.FromBox(bbox.Rect(x, y, x+5, y+5)))
+	}
+	layer := store.Layer("objs")
+	spec := bbox.RangeSpec{K: 2, Lower: bbox.Empty(2), Upper: bbox.Rect(100, 100, 400, 400)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Search(spec, func(spatialdb.Object) bool { return true })
+	}
+}

@@ -1,0 +1,76 @@
+package boolq
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The README quickstart, as a test: parse, compile, run, inspect.
+func TestPublicAPIQuickstart(t *testing.T) {
+	store := NewStore(Rect(0, 0, 1000, 1000), RTree)
+	country := RegionFromBox(Rect(100, 100, 900, 900))
+	store.MustInsert("towns", "border", RegionFromBoxes(2, Rect(95, 400, 110, 415)))
+	store.MustInsert("towns", "inland", RegionFromBox(Rect(400, 400, 415, 415)))
+
+	q, err := ParseQuery(`find T in towns given C where T & ~C != 0; T & C != 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Run(store, map[string]*Region{"C": country}, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0].Objects[0].Name != "border" {
+		t.Fatalf("quickstart solutions = %v", res.Solutions)
+	}
+}
+
+func TestPublicAPISmuggler(t *testing.T) {
+	m := workload.GenMap(workload.MapConfig{Seed: 42})
+	store := NewStore(m.Config.Universe, PointRTree)
+	m.Populate(store)
+	params := map[string]*Region{"C": m.Country, "A": m.Area}
+
+	opt, err := CompileAndRun(Smuggler(), store, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := RunNaive(Smuggler(), store, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.Solutions != naive.Stats.Solutions || opt.Stats.Solutions == 0 {
+		t.Fatalf("optimized %d solutions, naive %d",
+			opt.Stats.Solutions, naive.Stats.Solutions)
+	}
+	if opt.Stats.Candidates >= naive.Stats.Candidates {
+		t.Errorf("no pruning: %d vs %d candidates",
+			opt.Stats.Candidates, naive.Stats.Candidates)
+	}
+}
+
+func TestPublicAPIProgrammaticQuery(t *testing.T) {
+	store := NewStore(Rect(0, 0, 100, 100), Grid)
+	store.MustInsert("objs", "a", RegionFromBox(Rect(10, 10, 20, 20)))
+	store.MustInsert("objs", "b", RegionFromBox(Rect(50, 50, 60, 60)))
+
+	q := NewQuery()
+	x, c := q.Sys.Var("x"), q.Sys.Var("C")
+	q.Sys.Subset(x, c)
+	q.From("x", "objs")
+
+	res, err := CompileAndRun(q, store, map[string]*Region{
+		"C": RegionFromBox(Rect(0, 0, 30, 30)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0].Objects[0].Name != "a" {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}

@@ -1,0 +1,43 @@
+// Command experiments regenerates the paper's figures, worked examples and
+// empirical claims as tables on stdout. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded outcomes.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -list      # list experiment IDs
+//	experiments -run E6    # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E6)")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	if *run != "" {
+		r, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		fmt.Println(r.Run().String())
+		return
+	}
+	for _, r := range experiments.All() {
+		fmt.Println(r.Run().String())
+	}
+}

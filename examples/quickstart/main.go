@@ -1,0 +1,53 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// We store a handful of regions, write a two-constraint query in the
+// textual language ("find towns that straddle the border of C"), compile
+// it, and run it. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	boolq "repro"
+)
+
+func main() {
+	// A store over a 1000x1000 universe, indexed with an R-tree.
+	store := boolq.NewStore(boolq.Rect(0, 0, 1000, 1000), boolq.RTree)
+
+	// Three towns: one straddling the country border, two inside.
+	store.MustInsert("towns", "frontier", boolq.RegionFromBox(boolq.Rect(95, 400, 112, 415)))
+	store.MustInsert("towns", "capital", boolq.RegionFromBox(boolq.Rect(480, 480, 520, 520)))
+	store.MustInsert("towns", "lakeside", boolq.RegionFromBox(boolq.Rect(300, 700, 320, 718)))
+
+	// The query: T must meet both the country and its complement.
+	q, err := boolq.ParseQuery(`
+		find T in towns
+		given C
+		where T & ~C != 0; T & C != 0`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := boolq.Compile(q, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.Explain())
+
+	country := boolq.RegionFromBox(boolq.Rect(100, 100, 900, 900))
+	res, err := plan.Run(store, map[string]*boolq.Region{"C": country}, boolq.DefaultOptions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("border towns (%d):\n", len(res.Solutions))
+	for _, sol := range res.Solutions {
+		fmt.Printf("  %s at %v\n", sol.Objects[0].Name, sol.Objects[0].Box)
+	}
+	fmt.Printf("stats: %d candidates examined, %d rejected by the solved form\n",
+		res.Stats.Candidates, res.Stats.ExactRejects)
+}

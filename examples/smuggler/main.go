@@ -1,0 +1,64 @@
+// Smuggler: the paper's §2 worked example, end to end on a generated map.
+//
+// Find a border town T, a road R from T into the destination area A that
+// never crosses a state boundary (stays within a single state B). The
+// program prints the compiled triangular form and bounding-box plan — the
+// same derivation the paper walks through — then the solutions and the
+// pruning statistics against the naive nested loop. Run with:
+//
+//	go run ./examples/smuggler
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	boolq "repro"
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Generate the scenario: a country tiled by 3x3 states, towns on and
+	// inside the border, and roads (a few of which are genuine smuggling
+	// routes).
+	m := workload.GenMap(workload.MapConfig{Seed: 1991})
+	store := spatialdb.NewStore(m.Config.Universe, spatialdb.RTree)
+	m.Populate(store)
+	params := map[string]*boolq.Region{"C": m.Country, "A": m.Area}
+
+	q := boolq.Smuggler()
+	plan, err := boolq.Compile(q, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The paper's Figure 1 system, compiled:")
+	fmt.Println(plan.Explain())
+
+	res, err := plan.Run(store, params, boolq.DefaultOptions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("smuggling plans found: %d\n", len(res.Solutions))
+	for i, sol := range res.Solutions {
+		fmt.Printf("  %d. enter at %s, drive %s, staying inside %s\n",
+			i+1, sol.Objects[0].Name, sol.Objects[1].Name, sol.Objects[2].Name)
+	}
+
+	naive, err := boolq.RunNaive(q, store, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Printf("optimized: %6d tuples considered\n", res.Stats.Candidates)
+	fmt.Printf("naive:     %6d tuples considered (%.1fx more)\n",
+		naive.Stats.Candidates,
+		float64(naive.Stats.Candidates)/float64(res.Stats.Candidates))
+	if naive.Stats.Solutions != res.Stats.Solutions {
+		log.Fatalf("BUG: solution counts disagree (%d vs %d)",
+			naive.Stats.Solutions, res.Stats.Solutions)
+	}
+	fmt.Println("solution sets agree ✓")
+}

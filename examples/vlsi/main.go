@@ -1,0 +1,82 @@
+// VLSI design-rule checking: one of the application domains the paper's
+// introduction cites (Ullman's "Computational aspects of VLSI").
+//
+// Two rules over a generated two-metal-layer layout:
+//
+//  1. connected vias: find (via, m1, m2) with via ⊑ m1 and via ⊑ m2 —
+//     a three-variable containment join;
+//  2. dangling vias: vias overlapping NO metal1 wire, found by running
+//     rule 1's first step and complementing.
+//
+// Run with:
+//
+//	go run ./examples/vlsi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	boolq "repro"
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+func main() {
+	layout := workload.GenVLSI(workload.VLSIConfig{Seed: 7, Metal1: 40, Metal2: 40, Vias: 50})
+	store := spatialdb.NewStore(layout.Config.Universe, spatialdb.PointRTree)
+	layout.Populate(store)
+	fmt.Printf("layout: %d m1 wires, %d m2 wires, %d vias\n\n",
+		store.Layer("metal1").Len(), store.Layer("metal2").Len(), store.Layer("vias").Len())
+
+	// Rule 1: a via must land on both layers it connects.
+	q, err := boolq.ParseQuery(`
+		find V in vias, M1 in metal1, M2 in metal2
+		where V <= M1; V <= M2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := boolq.Compile(q, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := plan.Run(store, nil, boolq.DefaultOptions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	connected := map[string]bool{}
+	for _, sol := range res.Solutions {
+		connected[sol.Objects[0].Name] = true
+	}
+	fmt.Printf("rule 1 (connected vias): %d connections across %d vias\n",
+		len(res.Solutions), len(connected))
+	fmt.Printf("  pipeline stats: %d candidates, %d db objects scanned\n\n",
+		res.Stats.Candidates, res.Stats.DB.Scanned)
+
+	// Rule 2: vias touching no metal1 wire at all are dangling.
+	q2, err := boolq.ParseQuery(`
+		find V in vias, M1 in metal1
+		where V & M1 != 0`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := boolq.CompileAndRun(q2, store, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	touching := map[string]bool{}
+	for _, sol := range res2.Solutions {
+		touching[sol.Objects[0].Name] = true
+	}
+	dangling := 0
+	store.Layer("vias").All(func(o spatialdb.Object) bool {
+		if !touching[o.Name] {
+			dangling++
+			if dangling <= 5 {
+				fmt.Printf("rule 2 violation: %s touches no metal1 wire\n", o.Name)
+			}
+		}
+		return true
+	})
+	fmt.Printf("rule 2 (dangling vias): %d violations\n", dangling)
+}

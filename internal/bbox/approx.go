@@ -1,0 +1,106 @@
+package bbox
+
+import (
+	"repro/internal/bcf"
+	"repro/internal/formula"
+)
+
+// Lower computes L_f, the best lower bounding-box approximation of the
+// Boolean function f (Theorem 14 / Algorithm 2 step 2): the ⊔ of ⌈x⌉ over
+// every atom x with x ≤ f, i.e. over the single-positive-literal terms of
+// BCF(f). L_f satisfies L_f(⌈x₁⌉,…) ⊑ ⌈f(x₁,…)⌉ for all region values, and
+// is the greatest box function with that property.
+func Lower(f *formula.Formula) (*Func, error) {
+	s, err := bcf.BCF(f)
+	if err != nil {
+		return nil, err
+	}
+	return LowerFromBCF(s), nil
+}
+
+// LowerFromBCF is Lower for a precomputed Blake canonical form.
+func LowerFromBCF(s formula.SOP) *Func {
+	acc := EmptyFunc()
+	for _, t := range s {
+		if t.IsTrue() {
+			// f ≡ 1: its bounding box is the whole space.
+			return UnivFunc()
+		}
+	}
+	for _, v := range bcf.AtomicTerms(s) {
+		acc = JoinFunc(acc, VarFunc(v))
+	}
+	return acc
+}
+
+// Upper computes U_f, the best upper bounding-box approximation of f
+// (Theorem 15 / Algorithm 2 step 3): drop all negative literals from the
+// Blake canonical form, replace ∧ by ⊓ and ∨ by ⊔, and simplify. U_f
+// satisfies ⌈f(x₁,…)⌉ ⊑ U_f(⌈x₁⌉,…) for all region values, and is the least
+// box function with that property.
+func Upper(f *formula.Formula) (*Func, error) {
+	s, err := bcf.BCF(f)
+	if err != nil {
+		return nil, err
+	}
+	return UpperFromBCF(s), nil
+}
+
+// UpperFromBCF is Upper for a precomputed Blake canonical form.
+func UpperFromBCF(s formula.SOP) *Func {
+	// Drop negative literals per term; a term with only negative literals
+	// (or the empty term) upper-approximates to the universe.
+	type boxTerm struct {
+		vars uint64 // set of positive literals; meet of their boxes
+	}
+	var terms []boxTerm
+	for _, t := range s {
+		if t.Pos == 0 {
+			return UnivFunc()
+		}
+		terms = append(terms, boxTerm{vars: t.Pos})
+	}
+	// Simplify: a term whose variable set is a superset of another's is
+	// absorbed (meet of more boxes is smaller, so it adds nothing to ⊔).
+	var kept []boxTerm
+	for i, t := range terms {
+		absorbed := false
+		for j, u := range terms {
+			if i == j {
+				continue
+			}
+			if u.vars&^t.vars == 0 && (u.vars != t.vars || j < i) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			kept = append(kept, t)
+		}
+	}
+	acc := EmptyFunc()
+	for _, t := range kept {
+		term := UnivFunc()
+		for v := 0; v < 64; v++ {
+			if t.vars&(uint64(1)<<uint(v)) != 0 {
+				term = MeetFunc(term, VarFunc(v))
+			}
+		}
+		acc = JoinFunc(acc, term)
+	}
+	return acc
+}
+
+// Approx bundles the two approximations of one Boolean function.
+type Approx struct {
+	L, U *Func
+}
+
+// Approximate computes both L_f and U_f sharing one BCF computation.
+func Approximate(f *formula.Formula) (Approx, error) {
+	s, err := bcf.BCF(f)
+	if err != nil {
+		return Approx{}, err
+	}
+	return Approx{L: LowerFromBCF(s), U: UpperFromBCF(s)}, nil
+}

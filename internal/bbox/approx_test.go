@@ -1,0 +1,174 @@
+package bbox
+
+import (
+	"testing"
+
+	"repro/internal/formula"
+)
+
+// TestE4PaperExample3 reproduces §4 Example 3:
+//
+//	f = ~x&y ∨ x&y ∨ x&z&~w  (the function of Example 2)
+//	L_f = ⌈y⌉
+//	U_f = ⌈y⌉ ⊔ (⌈x⌉ ⊓ ⌈z⌉)
+func TestE4PaperExample3(t *testing.T) {
+	x, y, z, w := formula.Var(0), formula.Var(1), formula.Var(2), formula.Var(3)
+	f := formula.OrN(
+		formula.And(formula.Not(x), y),
+		formula.And(x, y),
+		formula.AndN(x, z, formula.Not(w)),
+	)
+	a, err := Approximate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.L.Same(VarFunc(1)) {
+		t.Errorf("L_f = %v, want [x1]", a.L)
+	}
+	wantU := JoinFunc(VarFunc(1), MeetFunc(VarFunc(0), VarFunc(2)))
+	if !a.U.Same(wantU) {
+		t.Errorf("U_f = %v, want %v", a.U, wantU)
+	}
+}
+
+func TestLowerUpperOfConstants(t *testing.T) {
+	l, err := Lower(formula.Zero())
+	if err != nil || l.Kind() != FEmpty {
+		t.Errorf("L_0 = %v, %v", l, err)
+	}
+	u, err := Upper(formula.Zero())
+	if err != nil || u.Kind() != FEmpty {
+		t.Errorf("U_0 = %v, %v", u, err)
+	}
+	l, err = Lower(formula.One())
+	if err != nil || l.Kind() != FUniv {
+		t.Errorf("L_1 = %v, %v", l, err)
+	}
+	u, err = Upper(formula.One())
+	if err != nil || u.Kind() != FUniv {
+		t.Errorf("U_1 = %v, %v", u, err)
+	}
+}
+
+func TestLowerOfVariable(t *testing.T) {
+	l, err := Lower(formula.Var(3))
+	if err != nil || !l.Same(VarFunc(3)) {
+		t.Errorf("L_x = %v, %v", l, err)
+	}
+	u, err := Upper(formula.Var(3))
+	if err != nil || !u.Same(VarFunc(3)) {
+		t.Errorf("U_x = %v, %v", u, err)
+	}
+}
+
+// The paper's §4 motivating example: x&y ∨ x&z ≡ x&(y∨z) but the naive
+// syntactic transformations differ; the BCF-based upper bound must pick
+// the *smaller* (x⊓y) ⊔ (x⊓z), never x ⊓ (y⊔z).
+func TestUpperUsesSOPShape(t *testing.T) {
+	x, y, z := formula.Var(0), formula.Var(1), formula.Var(2)
+	f1 := formula.Or(formula.And(x, y), formula.And(x, z))
+	f2 := formula.And(x, formula.Or(y, z))
+	u1, err := Upper(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Upper(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JoinFunc(MeetFunc(VarFunc(0), VarFunc(1)), MeetFunc(VarFunc(0), VarFunc(2)))
+	if !u1.Same(want) || !u2.Same(want) {
+		t.Errorf("U = %v / %v, want %v (same for both spellings)", u1, u2, want)
+	}
+	// And on concrete boxes the two box expressions really differ:
+	bx := Rect(4, 4, 10, 10)
+	by := Rect(0, 0, 1, 1) // disjoint from bx, so ⌈x⌉⊓⌈y⌉ = ∅
+	bz := Rect(9, 9, 10, 10)
+	env := []Box{bx, by, bz}
+	good := want.Eval(2, env)
+	naive := MeetFunc(VarFunc(0), JoinFunc(VarFunc(1), VarFunc(2))).Eval(2, env)
+	if !naive.Contains(good) || naive.Equal(good) {
+		t.Errorf("BCF-based upper bound is not strictly tighter: %v vs %v", good, naive)
+	}
+}
+
+// Upper must drop negative literals: U_{x&~y} = ⌈x⌉.
+func TestUpperDropsNegativeLiterals(t *testing.T) {
+	x, y := formula.Var(0), formula.Var(1)
+	u, err := Upper(formula.And(x, formula.Not(y)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Same(VarFunc(0)) {
+		t.Errorf("U = %v, want [x0]", u)
+	}
+	// A purely negative function has universe upper bound.
+	u, err = Upper(formula.Not(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind() != FUniv {
+		t.Errorf("U_~y = %v, want U", u)
+	}
+}
+
+// Lower must find atoms hidden by syntax: x ∨ x&y has BCF = x, so L = ⌈x⌉;
+// and (x∨y)&(x∨~y) ≡ x similarly.
+func TestLowerFindsHiddenAtoms(t *testing.T) {
+	x, y := formula.Var(0), formula.Var(1)
+	f := formula.And(formula.Or(x, y), formula.Or(x, formula.Not(y)))
+	l, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Same(VarFunc(0)) {
+		t.Errorf("L = %v, want [x0]", l)
+	}
+}
+
+// For f = x ∨ y the lower bound is ⌈x⌉ ⊔ ⌈y⌉ = upper bound (f is a pure
+// disjunction of atoms, so the bounds coincide).
+func TestBoundsCoincideOnDisjunction(t *testing.T) {
+	x, y := formula.Var(0), formula.Var(1)
+	f := formula.Or(x, y)
+	a, err := Approximate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JoinFunc(VarFunc(0), VarFunc(1))
+	if !a.L.Same(want) || !a.U.Same(want) {
+		t.Errorf("L = %v, U = %v, want both %v", a.L, a.U, want)
+	}
+}
+
+// For a conjunction x&y the lower bound is empty (no atom below x&y) while
+// the upper is ⌈x⌉⊓⌈y⌉ (Lemma 8).
+func TestConjunctionBounds(t *testing.T) {
+	x, y := formula.Var(0), formula.Var(1)
+	a, err := Approximate(formula.And(x, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L.Kind() != FEmpty {
+		t.Errorf("L_{x&y} = %v, want ∅", a.L)
+	}
+	if !a.U.Same(MeetFunc(VarFunc(0), VarFunc(1))) {
+		t.Errorf("U_{x&y} = %v", a.U)
+	}
+}
+
+func TestUpperAbsorbsRedundantTerms(t *testing.T) {
+	x, y := formula.Var(0), formula.Var(1)
+	// BCF(x ∨ x&y) = x, but feed a redundant SOP directly to UpperFromBCF
+	// to check the box-level absorption too.
+	s := formula.SOP{
+		formula.Term{Pos: 0b01},
+		formula.Term{Pos: 0b11},
+	}
+	u := UpperFromBCF(s)
+	if !u.Same(VarFunc(0)) {
+		t.Errorf("UpperFromBCF = %v, want [x0]", u)
+	}
+	_ = x
+	_ = y
+}

@@ -1,0 +1,228 @@
+// Package bbox implements k-dimensional bounding boxes, bounding-box
+// functions, and the paper's Algorithm 2: the best lower (L_f) and upper
+// (U_f) bounding-box approximations of a Boolean function, read off its
+// Blake canonical form (Theorems 14 and 15).
+//
+// A bounding box ⌈x⌉ is the minimal axis-parallel box enclosing a region x.
+// The box operators are ⊓ (Meet, ordinary intersection), ⊔ (Join, the
+// minimal box enclosing the union — not set union), and ⊑ (Contains,
+// containment). Queries combining box constraints of the forms ⌈x⌉ ⊑ a,
+// b ⊑ ⌈x⌉ and ⌈x⌉ ⊓ c ≠ ∅ are answered by a *single* range query on points
+// in 2k dimensions (Figure 3); see PointTransform and RangeSpec.
+package bbox
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Box is an axis-parallel box in k dimensions, possibly empty. The empty
+// box (Lo == nil) is the identity of ⊔ and the absorbing element of ⊓; it
+// is the bounding box of the empty region. Coordinates may be ±Inf: the
+// universe box Univ(k) is the bounding box of the whole space.
+type Box struct {
+	K      int       // dimensionality
+	Lo, Hi []float64 // nil iff empty; otherwise len K with Lo[i] ≤ Hi[i]
+}
+
+// Empty returns the empty box in k dimensions.
+func Empty(k int) Box { return Box{K: k} }
+
+// Univ returns the box covering all of R^k.
+func Univ(k int) Box {
+	lo, hi := make([]float64, k), make([]float64, k)
+	for i := range lo {
+		lo[i], hi[i] = math.Inf(-1), math.Inf(1)
+	}
+	return Box{K: k, Lo: lo, Hi: hi}
+}
+
+// New returns the box [lo, hi]. It panics if the slices disagree in length
+// or lo[i] > hi[i]; callers constructing boxes from unvalidated input
+// should use Make.
+func New(lo, hi []float64) Box {
+	b, err := Make(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Make returns the box [lo, hi], validating the input.
+func Make(lo, hi []float64) (Box, error) {
+	if len(lo) != len(hi) {
+		return Box{}, fmt.Errorf("bbox: corner dimensions differ: %d vs %d", len(lo), len(hi))
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return Box{}, fmt.Errorf("bbox: inverted interval in dim %d: [%g,%g]", i, lo[i], hi[i])
+		}
+	}
+	l := append([]float64(nil), lo...)
+	h := append([]float64(nil), hi...)
+	return Box{K: len(lo), Lo: l, Hi: h}, nil
+}
+
+// Rect is a 2-D convenience constructor.
+func Rect(x0, y0, x1, y1 float64) Box {
+	return New([]float64{x0, y0}, []float64{x1, y1})
+}
+
+// IsEmpty reports whether b is the empty box.
+func (b Box) IsEmpty() bool { return b.Lo == nil }
+
+// Meet returns b ⊓ c, the intersection. Boxes of mismatched dimension
+// panic: that is always a programming error in the compiler.
+func (b Box) Meet(c Box) Box {
+	b.checkDim(c)
+	if b.IsEmpty() || c.IsEmpty() {
+		return Empty(b.K)
+	}
+	lo, hi := make([]float64, b.K), make([]float64, b.K)
+	for i := 0; i < b.K; i++ {
+		lo[i] = math.Max(b.Lo[i], c.Lo[i])
+		hi[i] = math.Min(b.Hi[i], c.Hi[i])
+		if lo[i] > hi[i] {
+			return Empty(b.K)
+		}
+	}
+	return Box{K: b.K, Lo: lo, Hi: hi}
+}
+
+// Join returns b ⊔ c, the minimal box enclosing both (bounding-box union).
+func (b Box) Join(c Box) Box {
+	b.checkDim(c)
+	if b.IsEmpty() {
+		return c
+	}
+	if c.IsEmpty() {
+		return b
+	}
+	lo, hi := make([]float64, b.K), make([]float64, b.K)
+	for i := 0; i < b.K; i++ {
+		lo[i] = math.Min(b.Lo[i], c.Lo[i])
+		hi[i] = math.Max(b.Hi[i], c.Hi[i])
+	}
+	return Box{K: b.K, Lo: lo, Hi: hi}
+}
+
+// Contains reports b ⊒ c, i.e. c ⊑ b. The empty box is contained in every
+// box.
+func (b Box) Contains(c Box) bool {
+	b.checkDim(c)
+	if c.IsEmpty() {
+		return true
+	}
+	if b.IsEmpty() {
+		return false
+	}
+	for i := 0; i < b.K; i++ {
+		if c.Lo[i] < b.Lo[i] || c.Hi[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports b ⊓ c ≠ ∅.
+func (b Box) Overlaps(c Box) bool { return !b.Meet(c).IsEmpty() }
+
+// Equal reports coordinate equality (or both empty).
+func (b Box) Equal(c Box) bool {
+	if b.K != c.K {
+		return false
+	}
+	if b.IsEmpty() || c.IsEmpty() {
+		return b.IsEmpty() == c.IsEmpty()
+	}
+	for i := 0; i < b.K; i++ {
+		if b.Lo[i] != c.Lo[i] || b.Hi[i] != c.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the k-dimensional volume (0 for the empty box, +Inf for
+// unbounded boxes).
+func (b Box) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for i := 0; i < b.K; i++ {
+		v *= b.Hi[i] - b.Lo[i]
+	}
+	return v
+}
+
+// Margin returns the sum of edge lengths (used by R-tree split heuristics).
+func (b Box) Margin() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	m := 0.0
+	for i := 0; i < b.K; i++ {
+		m += b.Hi[i] - b.Lo[i]
+	}
+	return m
+}
+
+// Center returns the center point of the box (undefined for empty boxes).
+func (b Box) Center() []float64 {
+	c := make([]float64, b.K)
+	for i := 0; i < b.K; i++ {
+		c[i] = (b.Lo[i] + b.Hi[i]) / 2
+	}
+	return c
+}
+
+// ContainsPoint reports whether p lies in b.
+func (b Box) ContainsPoint(p []float64) bool {
+	if b.IsEmpty() || len(p) != b.K {
+		return false
+	}
+	for i := 0; i < b.K; i++ {
+		if p[i] < b.Lo[i] || p[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enlarge returns the volume increase of b ⊔ c over b (Guttman's insertion
+// heuristic).
+func (b Box) Enlarge(c Box) float64 {
+	return b.Join(c).Volume() - b.Volume()
+}
+
+func (b Box) checkDim(c Box) {
+	if b.K != c.K {
+		panic(fmt.Sprintf("bbox: dimension mismatch %d vs %d", b.K, c.K))
+	}
+}
+
+// String renders the box as [lo1,hi1]x[lo2,hi2]…
+func (b Box) String() string {
+	if b.IsEmpty() {
+		return "∅"
+	}
+	var sb strings.Builder
+	for i := 0; i < b.K; i++ {
+		if i > 0 {
+			sb.WriteString("x")
+		}
+		fmt.Fprintf(&sb, "[%g,%g]", b.Lo[i], b.Hi[i])
+	}
+	return sb.String()
+}
+
+// JoinAll returns the ⊔ of all boxes (empty if none).
+func JoinAll(k int, boxes ...Box) Box {
+	acc := Empty(k)
+	for _, b := range boxes {
+		acc = acc.Join(b)
+	}
+	return acc
+}

@@ -1,0 +1,203 @@
+package bbox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxConstructors(t *testing.T) {
+	b := Rect(0, 0, 2, 3)
+	if b.K != 2 || b.IsEmpty() {
+		t.Fatalf("Rect wrong: %v", b)
+	}
+	if b.Volume() != 6 {
+		t.Errorf("Volume = %g", b.Volume())
+	}
+	if b.Margin() != 5 {
+		t.Errorf("Margin = %g", b.Margin())
+	}
+	if _, err := Make([]float64{1}, []float64{0}); err == nil {
+		t.Errorf("inverted interval accepted")
+	}
+	if _, err := Make([]float64{1}, []float64{0, 1}); err == nil {
+		t.Errorf("dim mismatch accepted")
+	}
+	e := Empty(2)
+	if !e.IsEmpty() || e.Volume() != 0 {
+		t.Errorf("Empty wrong: %v", e)
+	}
+	u := Univ(2)
+	if u.IsEmpty() || !math.IsInf(u.Volume(), 1) {
+		t.Errorf("Univ wrong: %v", u)
+	}
+}
+
+func TestNewPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with inverted interval should panic")
+		}
+	}()
+	New([]float64{2}, []float64{1})
+}
+
+func TestMeetJoin(t *testing.T) {
+	a := Rect(0, 0, 4, 4)
+	b := Rect(2, 2, 6, 6)
+	m := a.Meet(b)
+	if !m.Equal(Rect(2, 2, 4, 4)) {
+		t.Errorf("Meet = %v", m)
+	}
+	j := a.Join(b)
+	if !j.Equal(Rect(0, 0, 6, 6)) {
+		t.Errorf("Join = %v", j)
+	}
+	// Disjoint boxes meet to empty.
+	c := Rect(10, 10, 11, 11)
+	if !a.Meet(c).IsEmpty() {
+		t.Errorf("disjoint Meet not empty")
+	}
+	// Empty is identity for Join, absorbing for Meet.
+	e := Empty(2)
+	if !a.Join(e).Equal(a) || !e.Join(a).Equal(a) {
+		t.Errorf("Join with empty wrong")
+	}
+	if !a.Meet(e).IsEmpty() || !e.Meet(a).IsEmpty() {
+		t.Errorf("Meet with empty wrong")
+	}
+	// Univ is identity for Meet.
+	if !a.Meet(Univ(2)).Equal(a) {
+		t.Errorf("Meet with Univ wrong")
+	}
+}
+
+func TestContainsOverlaps(t *testing.T) {
+	a := Rect(0, 0, 10, 10)
+	b := Rect(2, 2, 3, 3)
+	if !a.Contains(b) || b.Contains(a) {
+		t.Errorf("Contains wrong")
+	}
+	if !a.Contains(a) {
+		t.Errorf("Contains not reflexive")
+	}
+	if !a.Contains(Empty(2)) {
+		t.Errorf("every box contains empty")
+	}
+	if Empty(2).Contains(a) {
+		t.Errorf("empty contains nonempty")
+	}
+	if !a.Overlaps(Rect(9, 9, 12, 12)) {
+		t.Errorf("touching overlap missed")
+	}
+	if a.Overlaps(Rect(11, 0, 12, 1)) {
+		t.Errorf("disjoint overlap reported")
+	}
+	// Boundary touching counts as overlap (closed boxes).
+	if !Rect(0, 0, 1, 1).Overlaps(Rect(1, 0, 2, 1)) {
+		t.Errorf("edge-touching boxes should overlap")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch should panic")
+		}
+	}()
+	Rect(0, 0, 1, 1).Meet(New([]float64{0}, []float64{1}))
+}
+
+func TestCenterAndContainsPoint(t *testing.T) {
+	b := Rect(0, 0, 4, 2)
+	c := b.Center()
+	if c[0] != 2 || c[1] != 1 {
+		t.Errorf("Center = %v", c)
+	}
+	if !b.ContainsPoint([]float64{2, 1}) || b.ContainsPoint([]float64{5, 1}) {
+		t.Errorf("ContainsPoint wrong")
+	}
+	if b.ContainsPoint([]float64{2}) {
+		t.Errorf("wrong-dimension point accepted")
+	}
+	if Empty(2).ContainsPoint([]float64{0, 0}) {
+		t.Errorf("empty box contains a point")
+	}
+}
+
+func TestEnlarge(t *testing.T) {
+	a := Rect(0, 0, 2, 2)
+	if got := a.Enlarge(Rect(0, 0, 1, 1)); got != 0 {
+		t.Errorf("Enlarge contained = %g", got)
+	}
+	if got := a.Enlarge(Rect(0, 0, 4, 2)); got != 4 {
+		t.Errorf("Enlarge = %g", got)
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := Rect(0, 0, 1, 1)
+	if !a.Equal(Rect(0, 0, 1, 1)) || a.Equal(Rect(0, 0, 1, 2)) {
+		t.Errorf("Equal wrong")
+	}
+	if a.Equal(New([]float64{0}, []float64{1})) {
+		t.Errorf("different dims equal")
+	}
+	if !Empty(2).Equal(Empty(2)) || Empty(2).Equal(a) {
+		t.Errorf("empty equality wrong")
+	}
+	if Empty(2).String() != "∅" {
+		t.Errorf("empty String = %q", Empty(2).String())
+	}
+	if a.String() != "[0,1]x[0,1]" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestJoinAll(t *testing.T) {
+	j := JoinAll(2, Rect(0, 0, 1, 1), Rect(5, 5, 6, 6), Empty(2))
+	if !j.Equal(Rect(0, 0, 6, 6)) {
+		t.Errorf("JoinAll = %v", j)
+	}
+	if !JoinAll(2).IsEmpty() {
+		t.Errorf("JoinAll() not empty")
+	}
+}
+
+func randBox(a, b, c, d float64) Box {
+	x0, x1 := math.Min(a, b), math.Max(a, b)
+	y0, y1 := math.Min(c, d), math.Max(c, d)
+	return Rect(x0, y0, x1, y1)
+}
+
+// Property: boxes form a lattice — Meet is the greatest lower bound and
+// Join the least upper bound w.r.t. Contains.
+func TestQuickBoxLattice(t *testing.T) {
+	check := func(a, b, c, d, e, f, g, h float64) bool {
+		x := randBox(a, b, c, d)
+		y := randBox(e, f, g, h)
+		m := x.Meet(y)
+		j := x.Join(y)
+		return x.Contains(m) && y.Contains(m) &&
+			j.Contains(x) && j.Contains(y) &&
+			m.Equal(y.Meet(x)) && j.Equal(y.Join(x))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ⊔ distributivity inequality f⊓g ⊔ f⊓h ⊑ f ⊓ (g⊔h) (Lemma 6).
+func TestQuickLemma6(t *testing.T) {
+	check := func(vals [12]float64) bool {
+		f := randBox(vals[0], vals[1], vals[2], vals[3])
+		g := randBox(vals[4], vals[5], vals[6], vals[7])
+		h := randBox(vals[8], vals[9], vals[10], vals[11])
+		lhs := f.Meet(g).Join(f.Meet(h))
+		rhs := f.Meet(g.Join(h))
+		return rhs.Contains(lhs)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package bbox
+
+import (
+	"testing"
+)
+
+func TestFuncConstructorsFold(t *testing.T) {
+	x, y := VarFunc(0), VarFunc(1)
+	cases := []struct {
+		name string
+		got  *Func
+		want *Func
+	}{
+		{"meet-empty", MeetFunc(EmptyFunc(), x), EmptyFunc()},
+		{"meet-univ", MeetFunc(UnivFunc(), x), x},
+		{"meet-idem", MeetFunc(x, x), x},
+		{"join-univ", JoinFunc(UnivFunc(), x), UnivFunc()},
+		{"join-empty", JoinFunc(EmptyFunc(), x), x},
+		{"join-idem", JoinFunc(x, x), x},
+	}
+	for _, c := range cases {
+		if !c.got.Same(c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	_ = y
+}
+
+func TestVarFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VarFunc(-1) should panic")
+		}
+	}()
+	VarFunc(-1)
+}
+
+func TestFuncEval(t *testing.T) {
+	env := []Box{Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)}
+	f := MeetFunc(VarFunc(0), VarFunc(1))
+	if got := f.Eval(2, env); !got.Equal(Rect(2, 2, 4, 4)) {
+		t.Errorf("Eval meet = %v", got)
+	}
+	g := JoinFunc(VarFunc(0), ConstFunc(Rect(10, 10, 11, 11)))
+	if got := g.Eval(2, env); !got.Equal(Rect(0, 0, 11, 11)) {
+		t.Errorf("Eval join = %v", got)
+	}
+	if got := EmptyFunc().Eval(2, env); !got.IsEmpty() {
+		t.Errorf("Eval empty = %v", got)
+	}
+	if got := UnivFunc().Eval(2, env); !got.Equal(Univ(2)) {
+		t.Errorf("Eval univ = %v", got)
+	}
+}
+
+func TestFuncEvalPanicsOnUnbound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbound var should panic")
+		}
+	}()
+	VarFunc(5).Eval(2, []Box{Rect(0, 0, 1, 1)})
+}
+
+func TestFuncFreeVarsAndBind(t *testing.T) {
+	f := JoinFunc(MeetFunc(VarFunc(0), VarFunc(2)), VarFunc(4))
+	vars := f.FreeVars()
+	if len(vars) != 3 || vars[0] != 0 || vars[1] != 2 || vars[2] != 4 {
+		t.Errorf("FreeVars = %v", vars)
+	}
+	subs := make([]*Func, 5)
+	subs[0] = ConstFunc(Rect(0, 0, 1, 1))
+	g := f.Bind(subs)
+	gv := g.FreeVars()
+	if len(gv) != 2 || gv[0] != 2 || gv[1] != 4 {
+		t.Errorf("Bind left FreeVars = %v", gv)
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	f := JoinFunc(VarFunc(1), MeetFunc(VarFunc(0), VarFunc(2)))
+	if got := f.String(); got != "[x1] v [x0] ^ [x2]" {
+		t.Errorf("String = %q", got)
+	}
+	g := MeetFunc(JoinFunc(VarFunc(0), VarFunc(1)), VarFunc(2))
+	if got := g.String(); got != "([x0] v [x1]) ^ [x2]" {
+		t.Errorf("String = %q", got)
+	}
+	if EmptyFunc().String() != "∅" || UnivFunc().String() != "U" {
+		t.Errorf("constant rendering wrong")
+	}
+}
+
+func TestFuncSame(t *testing.T) {
+	a := MeetFunc(VarFunc(0), VarFunc(1))
+	b := MeetFunc(VarFunc(0), VarFunc(1))
+	if !a.Same(b) {
+		t.Errorf("structurally equal funcs differ")
+	}
+	if a.Same(MeetFunc(VarFunc(1), VarFunc(0))) {
+		t.Errorf("Same should be structural, not semantic")
+	}
+	if a.Same(nil) {
+		t.Errorf("Same(nil) should be false")
+	}
+	c1 := ConstFunc(Rect(0, 0, 1, 1))
+	c2 := ConstFunc(Rect(0, 0, 1, 1))
+	if !c1.Same(c2) {
+		t.Errorf("equal consts differ")
+	}
+}

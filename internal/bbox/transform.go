@@ -1,0 +1,113 @@
+package bbox
+
+import "math"
+
+// RangeSpec is the univariate range query of §4/Figure 3: the conjunction
+//
+//	Lower ⊑ ⌈x⌉  ∧  ⌈x⌉ ⊑ Upper  ∧  ⌈x⌉ ⊓ c ≠ ∅ for every c in Overlaps.
+//
+// This is exactly the query class "current spatial databases" support; the
+// compiler emits one RangeSpec per retrieval step.
+type RangeSpec struct {
+	K        int
+	Lower    Box   // b ⊑ ⌈x⌉; empty box means no lower-bound constraint
+	Upper    Box   // ⌈x⌉ ⊑ a; Univ(k) means no upper-bound constraint
+	Overlaps []Box // ⌈x⌉ ⊓ c ≠ ∅ for each c
+}
+
+// AllSpec returns the unconstrained spec (matches every box).
+func AllSpec(k int) RangeSpec {
+	return RangeSpec{K: k, Lower: Empty(k), Upper: Univ(k)}
+}
+
+// Matches reports whether box x satisfies the spec.
+func (s RangeSpec) Matches(x Box) bool {
+	if !x.Contains(s.Lower) {
+		return false
+	}
+	if !s.Upper.Contains(x) {
+		return false
+	}
+	for _, c := range s.Overlaps {
+		if !x.Overlaps(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Unsatisfiable reports a cheap static check: the spec can match no box at
+// all (e.g. required lower bound outside the upper bound, or an overlap
+// witness that is empty).
+func (s RangeSpec) Unsatisfiable() bool {
+	if !s.Upper.Contains(s.Lower) {
+		return true
+	}
+	for _, c := range s.Overlaps {
+		if c.IsEmpty() {
+			return true
+		}
+		// Every matching x lies inside Upper; if Upper misses c entirely no
+		// x can overlap c.
+		if s.Upper.IsEmpty() || !s.Upper.Overlaps(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// PointTransform maps a k-dim box to the 2k-dim point
+// (Lo₁,…,Lo_k, Hi₁,…,Hi_k) — the representation of rectangles as points
+// used by Figure 3. Empty boxes have no point representation; callers must
+// check IsEmpty first.
+func PointTransform(b Box) []float64 {
+	p := make([]float64, 2*b.K)
+	copy(p, b.Lo)
+	copy(p[b.K:], b.Hi)
+	return p
+}
+
+// PointQuery compiles the spec to a single 2k-dimensional box such that a
+// box x matches the spec iff PointTransform(x) lies inside it — Figure 3's
+// reduction of the combined containment/overlap constraints to one range
+// query on the point space. The second result is false when the spec is
+// statically unsatisfiable.
+//
+// Derivation per dimension i (x = [lo,hi]):
+//
+//	x ⊑ Upper:      Upper.Lo[i] ≤ lo        and hi ≤ Upper.Hi[i]
+//	Lower ⊑ x:      lo ≤ Lower.Lo[i]        and Lower.Hi[i] ≤ hi
+//	x ⊓ c ≠ ∅:      lo ≤ c.Hi[i]            and c.Lo[i] ≤ hi
+//
+// so lo ranges over [Upper.Lo[i], min(Lower.Lo[i], min_c c.Hi[i])] and
+// hi over [max(Lower.Hi[i], max_c c.Lo[i]), Upper.Hi[i]].
+func (s RangeSpec) PointQuery() (Box, bool) {
+	k := s.K
+	lo := make([]float64, 2*k)
+	hi := make([]float64, 2*k)
+	up := s.Upper
+	if up.IsEmpty() {
+		return Box{}, false // only the empty box ⊑ ∅, and it has no point
+	}
+	for i := 0; i < k; i++ {
+		loMin, loMax := up.Lo[i], math.Inf(1)
+		hiMin, hiMax := math.Inf(-1), up.Hi[i]
+		if !s.Lower.IsEmpty() {
+			loMax = math.Min(loMax, s.Lower.Lo[i])
+			hiMin = math.Max(hiMin, s.Lower.Hi[i])
+		}
+		for _, c := range s.Overlaps {
+			if c.IsEmpty() {
+				return Box{}, false
+			}
+			loMax = math.Min(loMax, c.Hi[i])
+			hiMin = math.Max(hiMin, c.Lo[i])
+		}
+		if loMin > loMax || hiMin > hiMax {
+			return Box{}, false
+		}
+		lo[i], hi[i] = loMin, loMax
+		lo[k+i], hi[k+i] = hiMin, hiMax
+	}
+	return Box{K: 2 * k, Lo: lo, Hi: hi}, true
+}

@@ -1,0 +1,131 @@
+// Package bcf computes the Blake canonical form (BCF) of a Boolean
+// function: the disjunction of all its prime implicants.
+//
+// The paper (§4) uses the BCF as the bridge between semantic and syntactic
+// reasoning: Blake's theorem states that for a sum-of-products g and any
+// formula f, g ≤ f holds semantically iff g is *syllogistically* below
+// BCF(f) — every term of g has a subsuming term in BCF(f). Algorithm 2
+// reads the optimal lower and upper bounding-box approximations of f
+// directly off BCF(f) (see internal/bbox).
+//
+// BCF is computed by the classical consensus/absorption method [Blake 1937;
+// Brown, Boolean Reasoning]: start from any sum-of-products form, repeatedly
+// add the consensus of pairs of terms and delete absorbed terms, until
+// fixpoint.
+package bcf
+
+import (
+	"repro/internal/formula"
+)
+
+// BCF returns the Blake canonical form of f as an absorbed sum of its prime
+// implicants, in deterministic order. It returns formula.ErrTooManyTerms if
+// the intermediate sums explode (compile-time guard; the paper notes the
+// method is exponential in the number of variables).
+func BCF(f *formula.Formula) (formula.SOP, error) {
+	sop, err := formula.DNF(f)
+	if err != nil {
+		return nil, err
+	}
+	return Close(sop)
+}
+
+// Close computes the consensus/absorption closure of an arbitrary sum of
+// products, yielding the Blake canonical form of the function it denotes.
+func Close(sop formula.SOP) (formula.SOP, error) {
+	terms := sop.Absorb()
+	for {
+		var added []formula.Term
+		for i := 0; i < len(terms); i++ {
+			for j := i + 1; j < len(terms); j++ {
+				c, ok := terms[i].Consensus(terms[j])
+				if !ok {
+					continue
+				}
+				if subsumedBy(c, terms) || subsumedBy(c, added) {
+					continue
+				}
+				added = append(added, c)
+				if len(terms)+len(added) > formula.MaxDNFTerms {
+					return nil, formula.ErrTooManyTerms
+				}
+			}
+		}
+		if len(added) == 0 {
+			return terms, nil
+		}
+		terms = append(terms, added...)
+		terms = terms.Absorb()
+	}
+}
+
+// subsumedBy reports whether some term of ts subsumes c (making c
+// redundant).
+func subsumedBy(c formula.Term, ts []formula.Term) bool {
+	for _, t := range ts {
+		if t.Subsumes(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// PrimeImplicants returns the prime implicants of f (the terms of its BCF).
+func PrimeImplicants(f *formula.Formula) ([]formula.Term, error) {
+	return BCF(f)
+}
+
+// IsImplicant reports whether the term t implies f (t ≤ f as Boolean
+// functions).
+func IsImplicant(t formula.Term, f *formula.Formula) bool {
+	return formula.Implies2(t.Formula(), f)
+}
+
+// IsPrimeImplicant reports whether t is an implicant of f such that no
+// proper sub-term (t with one literal removed) is still an implicant.
+func IsPrimeImplicant(t formula.Term, f *formula.Formula) bool {
+	if t.Contradictory() || !IsImplicant(t, f) {
+		return false
+	}
+	for _, v := range t.Vars() {
+		bit := uint64(1) << uint(v)
+		weaker := t
+		if t.Pos&bit != 0 {
+			weaker.Pos &^= bit
+		} else {
+			weaker.Neg &^= bit
+		}
+		if IsImplicant(weaker, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// SyllogisticallyLeq reports whether every term of g has a subsuming term
+// in h — the syntactic order "g ≼ h" of Theorem 12. When h is a Blake
+// canonical form this coincides with semantic implication g ≤ h
+// (Blake's theorem, Thm 13).
+func SyllogisticallyLeq(g, h formula.SOP) bool {
+	for _, t := range g {
+		if !subsumedBy(t, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// AtomicTerms returns the single-positive-literal terms of the sum — the
+// "atoms x with x ≤ f" that Theorem 14 reads off the BCF to build the best
+// lower bounding-box approximation.
+func AtomicTerms(sop formula.SOP) []int {
+	var vars []int
+	for _, t := range sop {
+		if t.Neg == 0 && popcount1(t.Pos) {
+			vars = append(vars, t.Vars()[0])
+		}
+	}
+	return vars
+}
+
+func popcount1(x uint64) bool { return x != 0 && x&(x-1) == 0 }

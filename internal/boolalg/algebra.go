@@ -1,0 +1,119 @@
+// Package boolalg defines the abstract Boolean algebra interface used by the
+// constraint engine, together with a finite (atomic) bitset implementation.
+//
+// The paper's constraint language is interpreted over an arbitrary Boolean
+// algebra: two-valued logic, finite set algebras, and — the case that matters
+// for spatial databases — the (atomless) algebra of measurable subsets of
+// R^k. The query engine is generic over this interface; the spatial region
+// algebra in internal/region implements it for the spatial case.
+package boolalg
+
+import "fmt"
+
+// Element is an opaque value of some Boolean algebra. Elements must only be
+// combined through the Algebra that produced them.
+type Element interface{}
+
+// Algebra is a Boolean algebra: a bounded, complemented, distributive
+// lattice. Implementations must satisfy the usual axioms; the checkers in
+// laws.go verify them for test inputs.
+type Algebra interface {
+	// Bottom returns the least element 0.
+	Bottom() Element
+	// Top returns the greatest element 1.
+	Top() Element
+	// Meet returns a ∧ b (set intersection in spatial models).
+	Meet(a, b Element) Element
+	// Join returns a ∨ b (set union).
+	Join(a, b Element) Element
+	// Complement returns ¬a (set complement w.r.t. the universe).
+	Complement(a Element) Element
+	// IsBottom reports whether a = 0. Emptiness testing is the only
+	// predicate Algorithm 1's disequations need at runtime.
+	IsBottom(a Element) bool
+	// Equal reports whether a = b.
+	Equal(a, b Element) bool
+}
+
+// Diff returns a ∧ ¬b, the relative difference, in any algebra.
+func Diff(alg Algebra, a, b Element) Element {
+	return alg.Meet(a, alg.Complement(b))
+}
+
+// Leq reports a ≤ b (a ⊑ b in the paper's containment notation), i.e.
+// a ∧ ¬b = 0.
+func Leq(alg Algebra, a, b Element) bool {
+	return alg.IsBottom(Diff(alg, a, b))
+}
+
+// Xor returns the symmetric difference (a ∧ ¬b) ∨ (¬a ∧ b).
+func Xor(alg Algebra, a, b Element) Element {
+	return alg.Join(Diff(alg, a, b), Diff(alg, b, a))
+}
+
+// Bitset is a finite Boolean algebra whose elements are subsets of
+// {0,…,N-1} for N ≤ 64, represented as uint64 masks. It is *atomic*: every
+// nonzero element dominates an atom (a singleton bit). The paper proves
+// that projection of multi-disequation systems can be inexact precisely on
+// such algebras (Theorem 5 needs atomlessness); experiment E7 exhibits the
+// gap using Bitset.
+type Bitset struct {
+	n    uint // number of atoms
+	mask uint64
+}
+
+// NewBitset returns the finite Boolean algebra with n atoms (1 ≤ n ≤ 64).
+func NewBitset(n uint) *Bitset {
+	if n == 0 || n > 64 {
+		panic(fmt.Sprintf("boolalg: bitset algebra needs 1..64 atoms, got %d", n))
+	}
+	var mask uint64
+	if n == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1) << n) - 1
+	}
+	return &Bitset{n: n, mask: mask}
+}
+
+// N returns the number of atoms.
+func (b *Bitset) N() uint { return b.n }
+
+// Univ returns the universe mask.
+func (b *Bitset) Univ() uint64 { return b.mask }
+
+// Elem returns the element with exactly the given bits set (clipped to the
+// universe).
+func (b *Bitset) Elem(bits uint64) Element { return bits & b.mask }
+
+// Atom returns the i-th atom.
+func (b *Bitset) Atom(i uint) Element {
+	if i >= b.n {
+		panic(fmt.Sprintf("boolalg: atom %d out of range [0,%d)", i, b.n))
+	}
+	return uint64(1) << i
+}
+
+// Bottom implements Algebra.
+func (b *Bitset) Bottom() Element { return uint64(0) }
+
+// Top implements Algebra.
+func (b *Bitset) Top() Element { return b.mask }
+
+// Meet implements Algebra.
+func (b *Bitset) Meet(x, y Element) Element { return x.(uint64) & y.(uint64) }
+
+// Join implements Algebra.
+func (b *Bitset) Join(x, y Element) Element { return x.(uint64) | y.(uint64) }
+
+// Complement implements Algebra.
+func (b *Bitset) Complement(x Element) Element { return ^x.(uint64) & b.mask }
+
+// IsBottom implements Algebra.
+func (b *Bitset) IsBottom(x Element) bool { return x.(uint64) == 0 }
+
+// Equal implements Algebra.
+func (b *Bitset) Equal(x, y Element) bool { return x.(uint64) == y.(uint64) }
+
+// Two is the two-valued Boolean algebra {0,1}, the smallest Bitset.
+func Two() *Bitset { return NewBitset(1) }

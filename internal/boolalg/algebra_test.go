@@ -1,0 +1,170 @@
+package boolalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	alg := NewBitset(8)
+	if got := alg.Top().(uint64); got != 0xff {
+		t.Fatalf("Top() = %#x, want 0xff", got)
+	}
+	if got := alg.Bottom().(uint64); got != 0 {
+		t.Fatalf("Bottom() = %#x, want 0", got)
+	}
+	if alg.N() != 8 {
+		t.Fatalf("N() = %d, want 8", alg.N())
+	}
+	a := alg.Elem(0b1010)
+	b := alg.Elem(0b0110)
+	if got := alg.Meet(a, b).(uint64); got != 0b0010 {
+		t.Errorf("Meet = %#b, want 0b0010", got)
+	}
+	if got := alg.Join(a, b).(uint64); got != 0b1110 {
+		t.Errorf("Join = %#b, want 0b1110", got)
+	}
+	if got := alg.Complement(a).(uint64); got != 0b11110101 {
+		t.Errorf("Complement = %#b, want 0b11110101", got)
+	}
+	if !alg.IsBottom(alg.Meet(a, alg.Complement(a))) {
+		t.Errorf("a ∧ ¬a should be bottom")
+	}
+}
+
+func TestBitsetElemClipsToUniverse(t *testing.T) {
+	alg := NewBitset(4)
+	if got := alg.Elem(0xff).(uint64); got != 0x0f {
+		t.Fatalf("Elem(0xff) = %#x, want 0x0f", got)
+	}
+}
+
+func TestBitsetAtoms(t *testing.T) {
+	alg := NewBitset(5)
+	for i := uint(0); i < 5; i++ {
+		a := alg.Atom(i).(uint64)
+		if a != uint64(1)<<i {
+			t.Errorf("Atom(%d) = %#x", i, a)
+		}
+	}
+}
+
+func TestBitsetAtomPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Atom out of range should panic")
+		}
+	}()
+	NewBitset(3).Atom(3)
+}
+
+func TestNewBitsetPanicsOnBadN(t *testing.T) {
+	for _, n := range []uint{0, 65, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBitset(%d) should panic", n)
+				}
+			}()
+			NewBitset(n)
+		}()
+	}
+}
+
+func TestBitset64Atoms(t *testing.T) {
+	alg := NewBitset(64)
+	if alg.Univ() != ^uint64(0) {
+		t.Fatalf("Univ() = %#x", alg.Univ())
+	}
+	if err := CheckLaws(alg, []Element{
+		alg.Bottom(), alg.Top(), alg.Elem(0xdeadbeef), alg.Elem(1 << 63),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetLaws(t *testing.T) {
+	alg := NewBitset(6)
+	sample := []Element{
+		alg.Bottom(), alg.Top(),
+		alg.Elem(0b000001), alg.Elem(0b101010),
+		alg.Elem(0b011100), alg.Elem(0b110011),
+	}
+	if err := CheckLaws(alg, sample); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoValuedAlgebra(t *testing.T) {
+	alg := Two()
+	if alg.N() != 1 {
+		t.Fatalf("Two() has %d atoms", alg.N())
+	}
+	if err := CheckLaws(alg, []Element{alg.Bottom(), alg.Top()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeqAndDiff(t *testing.T) {
+	alg := NewBitset(4)
+	a := alg.Elem(0b0011)
+	b := alg.Elem(0b0111)
+	if !Leq(alg, a, b) {
+		t.Errorf("0011 ≤ 0111 should hold")
+	}
+	if Leq(alg, b, a) {
+		t.Errorf("0111 ≤ 0011 should not hold")
+	}
+	if got := Diff(alg, b, a).(uint64); got != 0b0100 {
+		t.Errorf("Diff = %#b, want 0b0100", got)
+	}
+	if got := Xor(alg, a, b).(uint64); got != 0b0100 {
+		t.Errorf("Xor = %#b, want 0b0100", got)
+	}
+}
+
+// Property: on the bitset algebra every law holds for arbitrary elements.
+func TestQuickBitsetDeMorgan(t *testing.T) {
+	alg := NewBitset(64)
+	f := func(x, y uint64) bool {
+		a, b := alg.Elem(x), alg.Elem(y)
+		lhs := alg.Complement(alg.Meet(a, b))
+		rhs := alg.Join(alg.Complement(a), alg.Complement(b))
+		return alg.Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitsetLeqTransitive(t *testing.T) {
+	alg := NewBitset(64)
+	f := func(x, y, z uint64) bool {
+		a, b, c := alg.Elem(x), alg.Elem(x|y), alg.Elem(x|y|z)
+		return Leq(alg, a, b) && Leq(alg, b, c) && Leq(alg, a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLawViolationError(t *testing.T) {
+	v := &LawViolation{Law: "test"}
+	if v.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+// broken is an intentionally wrong algebra used to prove CheckLaws catches
+// violations.
+type broken struct{ *Bitset }
+
+func (b broken) Complement(x Element) Element { return x } // wrong on purpose
+
+func TestCheckLawsDetectsViolation(t *testing.T) {
+	alg := broken{NewBitset(3)}
+	err := CheckLaws(alg, []Element{alg.Elem(0b101)})
+	if err == nil {
+		t.Fatal("CheckLaws accepted a broken algebra")
+	}
+}

@@ -1,0 +1,112 @@
+package boolalg
+
+import "fmt"
+
+// LawViolation describes a Boolean-algebra axiom that failed on specific
+// elements. It is returned by CheckLaws so tests of new Algebra
+// implementations (the region algebra, in particular) can report exactly
+// which identity broke.
+type LawViolation struct {
+	Law string
+}
+
+func (v *LawViolation) Error() string {
+	return fmt.Sprintf("boolalg: law violated: %s", v.Law)
+}
+
+// CheckLaws verifies the Boolean-algebra axioms on the sample elements,
+// returning the first violation (nil if all hold). It checks all pairs and
+// triples drawn from the sample, so keep samples small (≤ ~12 elements).
+func CheckLaws(alg Algebra, sample []Element) error {
+	fail := func(law string) error { return &LawViolation{Law: law} }
+	zero, one := alg.Bottom(), alg.Top()
+
+	if !alg.IsBottom(zero) {
+		return fail("IsBottom(0)")
+	}
+	if alg.IsBottom(one) && !alg.Equal(zero, one) {
+		return fail("IsBottom(1) on a nontrivial algebra")
+	}
+	for _, a := range sample {
+		if !alg.Equal(alg.Join(a, zero), a) {
+			return fail("a ∨ 0 = a")
+		}
+		if !alg.Equal(alg.Meet(a, one), a) {
+			return fail("a ∧ 1 = a")
+		}
+		if !alg.Equal(alg.Meet(a, zero), zero) {
+			return fail("a ∧ 0 = 0")
+		}
+		if !alg.Equal(alg.Join(a, one), one) {
+			return fail("a ∨ 1 = 1")
+		}
+		if !alg.Equal(alg.Join(a, alg.Complement(a)), one) {
+			return fail("a ∨ ¬a = 1")
+		}
+		if !alg.Equal(alg.Meet(a, alg.Complement(a)), zero) {
+			return fail("a ∧ ¬a = 0")
+		}
+		if !alg.Equal(alg.Complement(alg.Complement(a)), a) {
+			return fail("¬¬a = a")
+		}
+		if !alg.Equal(alg.Meet(a, a), a) {
+			return fail("a ∧ a = a")
+		}
+		if !alg.Equal(alg.Join(a, a), a) {
+			return fail("a ∨ a = a")
+		}
+		if !Leq(alg, zero, a) || !Leq(alg, a, one) {
+			return fail("0 ≤ a ≤ 1")
+		}
+	}
+	for _, a := range sample {
+		for _, b := range sample {
+			if !alg.Equal(alg.Meet(a, b), alg.Meet(b, a)) {
+				return fail("∧ commutative")
+			}
+			if !alg.Equal(alg.Join(a, b), alg.Join(b, a)) {
+				return fail("∨ commutative")
+			}
+			if !alg.Equal(alg.Complement(alg.Meet(a, b)),
+				alg.Join(alg.Complement(a), alg.Complement(b))) {
+				return fail("De Morgan ¬(a∧b) = ¬a ∨ ¬b")
+			}
+			if !alg.Equal(alg.Complement(alg.Join(a, b)),
+				alg.Meet(alg.Complement(a), alg.Complement(b))) {
+				return fail("De Morgan ¬(a∨b) = ¬a ∧ ¬b")
+			}
+			// absorption
+			if !alg.Equal(alg.Join(a, alg.Meet(a, b)), a) {
+				return fail("absorption a ∨ (a∧b) = a")
+			}
+			if !alg.Equal(alg.Meet(a, alg.Join(a, b)), a) {
+				return fail("absorption a ∧ (a∨b) = a")
+			}
+			// Leq consistency
+			if Leq(alg, a, b) != alg.Equal(alg.Meet(a, b), a) {
+				return fail("a ≤ b ⇔ a∧b = a")
+			}
+		}
+	}
+	for _, a := range sample {
+		for _, b := range sample {
+			for _, c := range sample {
+				if !alg.Equal(alg.Meet(a, alg.Meet(b, c)), alg.Meet(alg.Meet(a, b), c)) {
+					return fail("∧ associative")
+				}
+				if !alg.Equal(alg.Join(a, alg.Join(b, c)), alg.Join(alg.Join(a, b), c)) {
+					return fail("∨ associative")
+				}
+				if !alg.Equal(alg.Meet(a, alg.Join(b, c)),
+					alg.Join(alg.Meet(a, b), alg.Meet(a, c))) {
+					return fail("∧ distributes over ∨")
+				}
+				if !alg.Equal(alg.Join(a, alg.Meet(b, c)),
+					alg.Meet(alg.Join(a, b), alg.Join(a, c))) {
+					return fail("∨ distributes over ∧")
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/boolalg"
+	"repro/internal/formula"
+)
+
+func TestBuildersAndString(t *testing.T) {
+	s := NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	s.Subset(x, y).NotSubset(x, formula.Zero())
+	if len(s.Cons) != 2 {
+		t.Fatalf("Cons = %d", len(s.Cons))
+	}
+	str := s.String()
+	if !strings.Contains(str, "x <= y") || !strings.Contains(str, "x !<= 0") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestVarIsStable(t *testing.T) {
+	s := NewSystem()
+	a := s.Var("A")
+	b := s.Var("A")
+	if !a.Same(b) {
+		t.Errorf("repeated Var not stable")
+	}
+}
+
+// Each derived form must mean what the paper says, checked by evaluating
+// over a finite algebra on exhaustive assignments.
+func TestDerivedFormsSemantics(t *testing.T) {
+	alg := boolalg.NewBitset(3)
+	elems := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+
+	type variant struct {
+		name  string
+		build func(s *System, x, y *formula.Formula)
+		want  func(a, b uint64) bool
+	}
+	variants := []variant{
+		{"Subset", func(s *System, x, y *formula.Formula) { s.Subset(x, y) },
+			func(a, b uint64) bool { return a&^b == 0 }},
+		{"NotSubset", func(s *System, x, y *formula.Formula) { s.NotSubset(x, y) },
+			func(a, b uint64) bool { return a&^b != 0 }},
+		{"Equal", func(s *System, x, y *formula.Formula) { s.Equal(x, y) },
+			func(a, b uint64) bool { return a == b }},
+		{"NotEqual", func(s *System, x, y *formula.Formula) { s.NotEqual(x, y) },
+			func(a, b uint64) bool { return a != b }},
+		{"Disjoint", func(s *System, x, y *formula.Formula) { s.Disjoint(x, y) },
+			func(a, b uint64) bool { return a&b == 0 }},
+		{"Overlap", func(s *System, x, y *formula.Formula) { s.Overlap(x, y) },
+			func(a, b uint64) bool { return a&b != 0 }},
+		{"StrictSubset", func(s *System, x, y *formula.Formula) { s.StrictSubset(x, y) },
+			func(a, b uint64) bool { return a&^b == 0 && a != b }},
+		{"NonEmpty", func(s *System, x, y *formula.Formula) { s.NonEmpty(x) },
+			func(a, b uint64) bool { return a != 0 }},
+	}
+	for _, v := range variants {
+		s := NewSystem()
+		x, y := s.Var("x"), s.Var("y")
+		v.build(s, x, y)
+		n := s.Normalize()
+		for _, a := range elems {
+			for _, b := range elems {
+				env := []boolalg.Element{a, b}
+				want := v.want(a, b)
+				if got := s.Satisfied(alg, env); got != want {
+					t.Errorf("%s: Satisfied(%#b,%#b) = %v, want %v", v.name, a, b, got, want)
+				}
+				if got := n.Satisfied(alg, env); got != want {
+					t.Errorf("%s: Normal.Satisfied(%#b,%#b) = %v, want %v", v.name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizeMergesPositives(t *testing.T) {
+	s := NewSystem()
+	x, y, z := s.Var("x"), s.Var("y"), s.Var("z")
+	s.Subset(x, y).Subset(y, z)
+	n := s.Normalize()
+	if len(n.G) != 0 {
+		t.Errorf("no disequations expected, got %d", len(n.G))
+	}
+	// F = x∧¬y ∨ y∧¬z
+	want := formula.Or(formula.Diff(x, y), formula.Diff(y, z))
+	if !formula.Equivalent(n.F, want) {
+		t.Errorf("F = %v", n.F)
+	}
+}
+
+func TestNormalizeDropsTautologicalDiseq(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	s.NotSubset(formula.One(), formula.Zero()) // 1 ≠ 0: trivially true
+	s.NotSubset(x, formula.Zero())
+	n := s.Normalize()
+	if len(n.G) != 1 {
+		t.Errorf("tautological disequation not dropped: %d", len(n.G))
+	}
+}
+
+func TestNormalizeDeduplicatesDiseqs(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	s.NonEmpty(x).NonEmpty(x)
+	n := s.Normalize()
+	if len(n.G) != 1 {
+		t.Errorf("duplicate disequations kept: %d", len(n.G))
+	}
+}
+
+func TestTriviallyUnsat(t *testing.T) {
+	// 1 ⊑ 0 forces F ≡ 1.
+	s := NewSystem()
+	s.Subset(formula.One(), formula.Zero())
+	if !s.Normalize().TriviallyUnsat() {
+		t.Errorf("1 ⊑ 0 not detected")
+	}
+	// x ≠ x is g ≡ 0.
+	s = NewSystem()
+	x := s.Var("x")
+	s.NotEqual(x, x)
+	if !s.Normalize().TriviallyUnsat() {
+		t.Errorf("x ≠ x not detected")
+	}
+	// x = 0 ∧ x ≠ 0: g ≤ F.
+	s = NewSystem()
+	x = s.Var("x")
+	s.Subset(x, formula.Zero()).NonEmpty(x)
+	if !s.Normalize().TriviallyUnsat() {
+		t.Errorf("x=0 ∧ x≠0 not detected")
+	}
+	// A satisfiable system.
+	s = NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	s.Subset(x, y).NonEmpty(x)
+	if s.Normalize().TriviallyUnsat() {
+		t.Errorf("satisfiable system flagged unsat")
+	}
+}
+
+// The negative-constraint expressiveness claim (§1): over general algebras
+// x ≠ y is NOT expressible positively, and our NotEqual indeed
+// distinguishes elements that all positive constraints over {x,y} confuse.
+func TestNegativeConstraintsAddPower(t *testing.T) {
+	alg := boolalg.NewBitset(2)
+	s := NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	s.NotEqual(x, y)
+	// x={atom0}, y={atom1}: different → satisfied.
+	if !s.Satisfied(alg, []boolalg.Element{uint64(1), uint64(2)}) {
+		t.Errorf("distinct elements rejected")
+	}
+	if s.Satisfied(alg, []boolalg.Element{uint64(1), uint64(1)}) {
+		t.Errorf("equal elements accepted")
+	}
+}
+
+// In the two-valued algebra, negative constraints reduce to positive ones:
+// x ⋢ y ⇔ x ⊑ ¬y ∧ x ≠ 0 … the paper's remark that negatives add no power
+// there. We check the concrete equivalence x ⋢ 0 ⇔ 1 ⊑ x for |atoms|=1.
+func TestTwoValuedNegativeReduction(t *testing.T) {
+	alg := boolalg.Two()
+	neg := NewSystem()
+	x := neg.Var("x")
+	neg.NonEmpty(x)
+	pos := NewSystem()
+	x2 := pos.Var("x")
+	pos.Subset(formula.One(), x2)
+	for _, v := range []uint64{0, 1} {
+		env := []boolalg.Element{v}
+		if neg.Satisfied(alg, env) != pos.Satisfied(alg, env) {
+			t.Errorf("two-valued reduction fails at x=%d", v)
+		}
+	}
+}

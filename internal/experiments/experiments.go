@@ -1,0 +1,107 @@
+// Package experiments regenerates every figure, worked example and
+// empirical claim of the paper as a printable table (see DESIGN.md §4 for
+// the experiment index and EXPERIMENTS.md for recorded outcomes). Each
+// experiment is a pure function returning a Table; cmd/experiments prints
+// them, the root bench suite times their hot paths, and the package's
+// tests assert the qualitative shape the paper predicts.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output in paper-table form.
+type Table struct {
+	ID     string
+	Title  string
+	Paper  string // what the paper shows/claims
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper: %s\n", t.Paper)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() Table
+}
+
+// All returns every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "smuggler example (§2, Fig 1)", E1Smuggler},
+		{"E2", "projection example (§3, Ex 1)", E2Projection},
+		{"E3", "Blake canonical form (§4, Ex 2)", E3BCF},
+		{"E4", "bounding-box bounds (§4, Ex 3)", E4Bounds},
+		{"E5", "point-transform range query (Fig 3)", E5PointTransform},
+		{"E6", "pruning vs naive evaluation (§1 claim)", E6Pruning},
+		{"E7", "atomless exactness (§3, Thms 5-6)", E7Atomless},
+		{"E8", "bbox filter vs exact regions (§4 claim)", E8FilterCost},
+		{"E9", "z-order join comparison (§1, PROBE)", E9ZOrder},
+		{"E10", "compile-time scaling (§4 complexity)", E10CompileScaling},
+		{"E11", "index independence (§1 claim)", E11Indexes},
+		{"E12", "retrieval-order ablation (§2 'arbitrarily')", E12Ordering},
+		{"E13", "R-tree construction ablation (substrate)", E13RTreeConstruction},
+		{"E14", "parallel execution speedup (extension)", E14Parallel},
+	}
+}
+
+// ByID returns the experiment with the given ID (case-insensitive).
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// msString formats a duration in fractional milliseconds.
+func msString(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,86 @@
+package formula
+
+// Cofactor returns f[v ↦ val]: the formula with variable v replaced by the
+// constant val, simplified by the constructors. The two cofactors
+// f[v↦1], f[v↦0] are the operands of Boole's expansion
+//
+//	f = (x ∧ f[x↦1]) ∨ (¬x ∧ f[x↦0])
+//
+// which drives both Algorithm 1 (projection) and the solved-form rewrite
+// (Theorems 9 and 10).
+func Cofactor(f *Formula, v int, val bool) *Formula {
+	c := zero
+	if val {
+		c = one
+	}
+	return substitute(f, v, c, map[*Formula]*Formula{})
+}
+
+// Substitute returns f[v ↦ g], replacing every occurrence of variable v by
+// the formula g.
+func Substitute(f *Formula, v int, g *Formula) *Formula {
+	return substitute(f, v, g, map[*Formula]*Formula{})
+}
+
+// SubstituteAll applies the bindings {v ↦ subs[v]} simultaneously. Variables
+// without a binding (subs[v] == nil or v ≥ len(subs)) are left in place.
+func SubstituteAll(f *Formula, subs []*Formula) *Formula {
+	memo := map[*Formula]*Formula{}
+	var walk func(n *Formula) *Formula
+	walk = func(n *Formula) *Formula {
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		var out *Formula
+		switch n.kind {
+		case KindConst:
+			out = n
+		case KindVar:
+			if n.v < len(subs) && subs[n.v] != nil {
+				out = subs[n.v]
+			} else {
+				out = n
+			}
+		case KindNot:
+			out = Not(walk(n.l))
+		case KindAnd:
+			out = And(walk(n.l), walk(n.r))
+		case KindOr:
+			out = Or(walk(n.l), walk(n.r))
+		}
+		memo[n] = out
+		return out
+	}
+	return walk(f)
+}
+
+func substitute(f *Formula, v int, g *Formula, memo map[*Formula]*Formula) *Formula {
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	var out *Formula
+	switch f.kind {
+	case KindConst:
+		out = f
+	case KindVar:
+		if f.v == v {
+			out = g
+		} else {
+			out = f
+		}
+	case KindNot:
+		out = Not(substitute(f.l, v, g, memo))
+	case KindAnd:
+		out = And(substitute(f.l, v, g, memo), substitute(f.r, v, g, memo))
+	case KindOr:
+		out = Or(substitute(f.l, v, g, memo), substitute(f.r, v, g, memo))
+	}
+	memo[f] = out
+	return out
+}
+
+// Expansion returns Boole's expansion of f on variable v:
+// pos = f[v↦1] and neg = f[v↦0], so that f ≡ (x_v ∧ pos) ∨ (¬x_v ∧ neg).
+func Expansion(f *Formula, v int) (pos, neg *Formula) {
+	return Cofactor(f, v, true), Cofactor(f, v, false)
+}

@@ -1,0 +1,130 @@
+package formula
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/boolalg"
+)
+
+func TestEvalOverBitset(t *testing.T) {
+	alg := boolalg.NewBitset(8)
+	x, y := Var(0), Var(1)
+	env := []boolalg.Element{alg.Elem(0b00001111), alg.Elem(0b00111100)}
+	f := And(x, y)
+	if got := Eval(f, alg, env).(uint64); got != 0b00001100 {
+		t.Errorf("Eval(x&y) = %#b", got)
+	}
+	g := Or(Not(x), y)
+	if got := Eval(g, alg, env).(uint64); got != 0b11111100 {
+		t.Errorf("Eval(~x|y) = %#b", got)
+	}
+	if got := Eval(One(), alg, nil).(uint64); got != alg.Univ() {
+		t.Errorf("Eval(1) = %#x", got)
+	}
+	if got := Eval(Zero(), alg, nil).(uint64); got != 0 {
+		t.Errorf("Eval(0) = %#x", got)
+	}
+}
+
+func TestEvalPanicsOnUnbound(t *testing.T) {
+	alg := boolalg.NewBitset(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval with unbound variable should panic")
+		}
+	}()
+	Eval(Var(3), alg, []boolalg.Element{alg.Top()})
+}
+
+func TestEvalBits(t *testing.T) {
+	x, y := Var(0), Var(1)
+	f := Xor(x, y)
+	cases := []struct {
+		assign uint64
+		want   bool
+	}{
+		{0b00, false}, {0b01, true}, {0b10, true}, {0b11, false},
+	}
+	for _, c := range cases {
+		if got := EvalBits(f, c.assign); got != c.want {
+			t.Errorf("EvalBits(x^y, %#b) = %v", c.assign, got)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	x, y, z := Var(0), Var(1), Var(2)
+	if !Equivalent(And(x, Or(y, z)), Or(And(x, y), And(x, z))) {
+		t.Errorf("distributivity not recognized")
+	}
+	if Equivalent(And(x, y), Or(x, y)) {
+		t.Errorf("x&y ≡ x|y accepted")
+	}
+	if !Equivalent(Not(And(x, y)), Or(Not(x), Not(y))) {
+		t.Errorf("De Morgan not recognized")
+	}
+	// Formulas over disjoint variable sets.
+	if Equivalent(x, y) {
+		t.Errorf("x ≡ y accepted")
+	}
+}
+
+func TestTautologies(t *testing.T) {
+	x, y := Var(0), Var(1)
+	if !TautologyOne(Or(x, Not(x))) {
+		t.Errorf("excluded middle not a tautology")
+	}
+	if !TautologyZero(And(x, Not(x))) {
+		t.Errorf("contradiction not zero")
+	}
+	if TautologyZero(And(x, y)) {
+		t.Errorf("satisfiable formula reported zero")
+	}
+	if !Implies2(And(x, y), x) {
+		t.Errorf("x&y ⇒ x not recognized")
+	}
+	if Implies2(x, And(x, y)) {
+		t.Errorf("x ⇒ x&y accepted")
+	}
+}
+
+// Property: Eval over the two-valued Bitset agrees with EvalBits.
+func TestQuickEvalAgreesWithEvalBits(t *testing.T) {
+	alg := boolalg.Two()
+	x, y, z := Var(0), Var(1), Var(2)
+	f := Or(And(x, Not(y)), Xor(y, z))
+	check := func(assign uint64) bool {
+		assign &= 0b111
+		env := make([]boolalg.Element, 3)
+		for i := 0; i < 3; i++ {
+			if assign&(uint64(1)<<uint(i)) != 0 {
+				env[i] = alg.Top()
+			} else {
+				env[i] = alg.Bottom()
+			}
+		}
+		got := !alg.IsBottom(Eval(f, alg, env))
+		return got == EvalBits(f, assign)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evaluation is a homomorphism — Eval(f∧g) = Eval(f) ∧ Eval(g).
+func TestQuickEvalHomomorphism(t *testing.T) {
+	alg := boolalg.NewBitset(16)
+	x, y := Var(0), Var(1)
+	f := Or(x, Not(y))
+	g := And(Not(x), y)
+	check := func(a, b uint64) bool {
+		env := []boolalg.Element{alg.Elem(a), alg.Elem(b)}
+		lhs := Eval(And(f, g), alg, env)
+		rhs := alg.Meet(Eval(f, alg, env), Eval(g, alg, env))
+		return alg.Equal(lhs, rhs)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

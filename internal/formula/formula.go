@@ -1,0 +1,291 @@
+// Package formula implements Boolean formulas over an arbitrary Boolean
+// algebra: the syntax layer of the paper's constraint language.
+//
+// A formula is built from variables, the constants 0 and 1, complement,
+// conjunction and disjunction. Formulas denote Boolean *functions*; the
+// engine needs three views of them:
+//
+//   - symbolic: cofactors f[x↦0], f[x↦1] (Boole's expansion) and
+//     substitution, used by Algorithm 1 (triangular form);
+//   - semantic: evaluation over any boolalg.Algebra, used at query time on
+//     regions, and two-valued evaluation, used for identity checks
+//     (an identity f ≡ g of Boolean *functions* holds in every Boolean
+//     algebra iff it holds in the two-valued one);
+//   - normal forms: sum-of-products terms, consumed by the Blake canonical
+//     form (internal/bcf) and the bounding-box approximations
+//     (internal/bbox).
+//
+// Formulas are immutable; all operations return new (possibly shared)
+// nodes. Constructors perform light constant folding so that, e.g.,
+// cofactoring yields trimmed formulas without a separate simplify pass.
+package formula
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates formula nodes.
+type Kind uint8
+
+// Formula node kinds.
+const (
+	KindConst Kind = iota // 0 or 1
+	KindVar               // a variable
+	KindNot               // complement
+	KindAnd               // binary conjunction
+	KindOr                // binary disjunction
+)
+
+// Formula is an immutable Boolean formula node.
+type Formula struct {
+	kind Kind
+	val  bool     // for KindConst
+	v    int      // for KindVar: variable index (≥ 0)
+	l, r *Formula // children: Not uses l only
+}
+
+var (
+	zero = &Formula{kind: KindConst, val: false}
+	one  = &Formula{kind: KindConst, val: true}
+)
+
+// Zero returns the constant-0 formula (the empty region).
+func Zero() *Formula { return zero }
+
+// One returns the constant-1 formula (the universe).
+func One() *Formula { return one }
+
+// Var returns the formula consisting of variable v.
+func Var(v int) *Formula {
+	if v < 0 {
+		panic(fmt.Sprintf("formula: negative variable index %d", v))
+	}
+	return &Formula{kind: KindVar, v: v}
+}
+
+// Kind returns the node kind.
+func (f *Formula) Kind() Kind { return f.kind }
+
+// Const reports the constant value; valid only for KindConst nodes.
+func (f *Formula) Const() bool { return f.val }
+
+// VarIndex returns the variable index; valid only for KindVar nodes.
+func (f *Formula) VarIndex() int { return f.v }
+
+// Left returns the left (or only) child.
+func (f *Formula) Left() *Formula { return f.l }
+
+// Right returns the right child.
+func (f *Formula) Right() *Formula { return f.r }
+
+// IsConst reports whether f is syntactically the constant b.
+func (f *Formula) IsConst(b bool) bool { return f.kind == KindConst && f.val == b }
+
+// Not returns ¬f with involution and constant folding.
+func Not(f *Formula) *Formula {
+	switch f.kind {
+	case KindConst:
+		if f.val {
+			return zero
+		}
+		return one
+	case KindNot:
+		return f.l
+	}
+	return &Formula{kind: KindNot, l: f}
+}
+
+// And returns f ∧ g with unit/zero/idempotence folding.
+func And(f, g *Formula) *Formula {
+	switch {
+	case f.IsConst(false) || g.IsConst(false):
+		return zero
+	case f.IsConst(true):
+		return g
+	case g.IsConst(true):
+		return f
+	case f.Same(g):
+		return f
+	case complementary(f, g):
+		return zero
+	}
+	return &Formula{kind: KindAnd, l: f, r: g}
+}
+
+// Or returns f ∨ g with unit/zero/idempotence folding.
+func Or(f, g *Formula) *Formula {
+	switch {
+	case f.IsConst(true) || g.IsConst(true):
+		return one
+	case f.IsConst(false):
+		return g
+	case g.IsConst(false):
+		return f
+	case f.Same(g):
+		return f
+	case complementary(f, g):
+		return one
+	}
+	return &Formula{kind: KindOr, l: f, r: g}
+}
+
+// complementary reports the cheap syntactic check f = ¬g or g = ¬f.
+func complementary(f, g *Formula) bool {
+	return (f.kind == KindNot && f.l.Same(g)) || (g.kind == KindNot && g.l.Same(f))
+}
+
+// AndN folds And over fs; AndN() = 1.
+func AndN(fs ...*Formula) *Formula {
+	acc := one
+	for _, f := range fs {
+		acc = And(acc, f)
+	}
+	return acc
+}
+
+// OrN folds Or over fs; OrN() = 0.
+func OrN(fs ...*Formula) *Formula {
+	acc := zero
+	for _, f := range fs {
+		acc = Or(acc, f)
+	}
+	return acc
+}
+
+// Diff returns f ∧ ¬g, the relative difference f \ g.
+func Diff(f, g *Formula) *Formula { return And(f, Not(g)) }
+
+// Xor returns the symmetric difference (f ∧ ¬g) ∨ (¬f ∧ g). Its vanishing
+// expresses equality f = g as a single equation (Boole).
+func Xor(f, g *Formula) *Formula { return Or(Diff(f, g), Diff(g, f)) }
+
+// Implies returns ¬f ∨ g.
+func Implies(f, g *Formula) *Formula { return Or(Not(f), g) }
+
+// Same reports structural equality (not semantic equivalence; see
+// Equivalent). Shared subtrees compare in O(1) via pointer identity.
+func (f *Formula) Same(g *Formula) bool {
+	if f == g {
+		return true
+	}
+	if f == nil || g == nil || f.kind != g.kind {
+		return false
+	}
+	switch f.kind {
+	case KindConst:
+		return f.val == g.val
+	case KindVar:
+		return f.v == g.v
+	case KindNot:
+		return f.l.Same(g.l)
+	default:
+		return f.l.Same(g.l) && f.r.Same(g.r)
+	}
+}
+
+// FreeVars returns the sorted indices of variables occurring in f.
+func (f *Formula) FreeVars() []int {
+	seen := map[int]bool{}
+	f.collectVars(seen)
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (f *Formula) collectVars(seen map[int]bool) {
+	switch f.kind {
+	case KindVar:
+		seen[f.v] = true
+	case KindNot:
+		f.l.collectVars(seen)
+	case KindAnd, KindOr:
+		f.l.collectVars(seen)
+		f.r.collectVars(seen)
+	}
+}
+
+// Uses reports whether variable v occurs in f.
+func (f *Formula) Uses(v int) bool {
+	switch f.kind {
+	case KindVar:
+		return f.v == v
+	case KindNot:
+		return f.l.Uses(v)
+	case KindAnd, KindOr:
+		return f.l.Uses(v) || f.r.Uses(v)
+	default:
+		return false
+	}
+}
+
+// Size returns the number of nodes in the formula tree (shared nodes
+// counted once).
+func (f *Formula) Size() int {
+	seen := map[*Formula]bool{}
+	var walk func(*Formula)
+	walk = func(n *Formula) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		walk(n.l)
+		walk(n.r)
+	}
+	walk(f)
+	return len(seen)
+}
+
+// String renders the formula with ~ ∧ as juxtaposition-free "&", ∨ as "|".
+// Variables print as x<i>; use StringNamed for symbol-table names.
+func (f *Formula) String() string {
+	return f.StringNamed(func(v int) string { return fmt.Sprintf("x%d", v) })
+}
+
+// StringNamed renders the formula using name(v) for variables.
+func (f *Formula) StringNamed(name func(int) string) string {
+	var b strings.Builder
+	f.render(&b, name, 0)
+	return b.String()
+}
+
+// precedence: Or=1, And=2, Not=3, atoms=4
+func (f *Formula) render(b *strings.Builder, name func(int) string, parent int) {
+	switch f.kind {
+	case KindConst:
+		if f.val {
+			b.WriteString("1")
+		} else {
+			b.WriteString("0")
+		}
+	case KindVar:
+		b.WriteString(name(f.v))
+	case KindNot:
+		b.WriteString("~")
+		f.l.render(b, name, 3)
+	case KindAnd:
+		if parent > 2 {
+			b.WriteString("(")
+		}
+		f.l.render(b, name, 2)
+		b.WriteString(" & ")
+		f.r.render(b, name, 2)
+		if parent > 2 {
+			b.WriteString(")")
+		}
+	case KindOr:
+		if parent > 1 {
+			b.WriteString("(")
+		}
+		f.l.render(b, name, 1)
+		b.WriteString(" | ")
+		f.r.render(b, name, 1)
+		if parent > 1 {
+			b.WriteString(")")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package gridfile implements the grid file of Nievergelt, Hinterberger
+// and Sevcik [TODS 1984] — the second range-query data structure the paper
+// cites (§1, reference [9]).
+//
+// A grid file indexes k-dimensional *points* with a directory of grid
+// cells defined by per-dimension linear scales. The spatial layer uses it
+// in point-transform mode: a k-dim bounding box becomes a 2k-dim point
+// (Figure 3), and every compiled range query becomes one box query here.
+//
+// This implementation keeps one bucket per directory cell and refines the
+// scales on bucket overflow by a median cut in the most spread-out
+// dimension, rehashing affected points. Duplicate-heavy buckets that
+// cannot be cut are allowed to overflow (the classical fallback).
+package gridfile
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bbox"
+)
+
+type entry struct {
+	p  []float64
+	id int64
+}
+
+type bucket struct {
+	entries []entry
+}
+
+// Grid is a grid file over k-dimensional points. The zero value is
+// unusable; call New.
+type Grid struct {
+	k      int
+	cap    int
+	scales [][]float64 // sorted interior cut points per dimension
+	dir    map[string]*bucket
+	size   int
+	splits int
+}
+
+// New returns an empty grid file for k-dimensional points with the given
+// bucket capacity (≥ 2).
+func New(k, bucketCap int) *Grid {
+	if k < 1 || bucketCap < 2 {
+		panic(fmt.Sprintf("gridfile: invalid k=%d cap=%d", k, bucketCap))
+	}
+	return &Grid{
+		k:      k,
+		cap:    bucketCap,
+		scales: make([][]float64, k),
+		dir:    map[string]*bucket{},
+	}
+}
+
+// K returns the dimensionality.
+func (g *Grid) K() int { return g.k }
+
+// Len returns the number of stored points.
+func (g *Grid) Len() int { return g.size }
+
+// Splits returns the number of scale refinements performed (a cost
+// metric).
+func (g *Grid) Splits() int { return g.splits }
+
+// cellIndex returns the interval index of v on dimension d's scale.
+func (g *Grid) cellIndex(d int, v float64) int {
+	return sort.SearchFloat64s(g.scales[d], v) // cuts strictly greater stay right
+}
+
+func (g *Grid) keyOf(p []float64) string {
+	var b strings.Builder
+	for d := 0; d < g.k; d++ {
+		if d > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(g.cellIndex(d, p[d])))
+	}
+	return b.String()
+}
+
+// Insert adds a point.
+func (g *Grid) Insert(p []float64, id int64) error {
+	if len(p) != g.k {
+		return fmt.Errorf("gridfile: point dimension %d, grid dimension %d", len(p), g.k)
+	}
+	q := append([]float64(nil), p...)
+	key := g.keyOf(q)
+	b := g.dir[key]
+	if b == nil {
+		b = &bucket{}
+		g.dir[key] = b
+	}
+	b.entries = append(b.entries, entry{p: q, id: id})
+	g.size++
+	if len(b.entries) > g.cap {
+		g.splitBucket(key, b)
+	}
+	return nil
+}
+
+// splitBucket refines the scales to relieve an overflowing bucket. If no
+// cut separates the bucket's points (all duplicates), the bucket simply
+// overflows.
+func (g *Grid) splitBucket(key string, b *bucket) {
+	// Pick the dimension with the widest spread inside the bucket.
+	bestDim, bestSpread := -1, 0.0
+	for d := 0; d < g.k; d++ {
+		lo, hi := b.entries[0].p[d], b.entries[0].p[d]
+		for _, e := range b.entries[1:] {
+			if e.p[d] < lo {
+				lo = e.p[d]
+			}
+			if e.p[d] > hi {
+				hi = e.p[d]
+			}
+		}
+		if spread := hi - lo; spread > bestSpread {
+			bestDim, bestSpread = d, spread
+		}
+	}
+	if bestDim < 0 {
+		return // all points identical: overflow in place
+	}
+	// Median cut.
+	vals := make([]float64, len(b.entries))
+	for i, e := range b.entries {
+		vals[i] = e.p[bestDim]
+	}
+	sort.Float64s(vals)
+	cut := vals[len(vals)/2]
+	if cut == vals[0] {
+		// Median equals minimum; use the first strictly larger value so
+		// both sides are nonempty.
+		for _, v := range vals {
+			if v > cut {
+				cut = v
+				break
+			}
+		}
+	}
+	// Insert the cut into the scale (idempotent).
+	sc := g.scales[bestDim]
+	pos := sort.SearchFloat64s(sc, cut)
+	if pos < len(sc) && sc[pos] == cut {
+		return // cut already exists; cell boundaries unchanged
+	}
+	g.scales[bestDim] = append(sc[:pos:pos], append([]float64{cut}, sc[pos:]...)...)
+	g.rehash()
+	_ = key
+	g.splits++
+}
+
+// rehash rebuilds the directory against the current scales. O(n), invoked
+// once per scale refinement.
+func (g *Grid) rehash() {
+	old := g.dir
+	g.dir = map[string]*bucket{}
+	for _, b := range old {
+		for _, e := range b.entries {
+			key := g.keyOf(e.p)
+			nb := g.dir[key]
+			if nb == nil {
+				nb = &bucket{}
+				g.dir[key] = nb
+			}
+			nb.entries = append(nb.entries, e)
+		}
+	}
+}
+
+// Delete removes one point with the given coordinates and id.
+func (g *Grid) Delete(p []float64, id int64) bool {
+	if len(p) != g.k {
+		return false
+	}
+	b := g.dir[g.keyOf(p)]
+	if b == nil {
+		return false
+	}
+	for i, e := range b.entries {
+		if e.id != id {
+			continue
+		}
+		same := true
+		for d := 0; d < g.k; d++ {
+			if e.p[d] != p[d] {
+				same = false
+				break
+			}
+		}
+		if same {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			g.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Search visits every stored point inside the query box. The visitor
+// returns false to stop. It reports the number of directory cells touched.
+func (g *Grid) Search(q bbox.Box, visit func(p []float64, id int64) bool) int {
+	if q.IsEmpty() {
+		return 0
+	}
+	if q.K != g.k {
+		panic(fmt.Sprintf("gridfile: query dimension %d, grid dimension %d", q.K, g.k))
+	}
+	// Determine the index range per dimension.
+	lo := make([]int, g.k)
+	hi := make([]int, g.k)
+	for d := 0; d < g.k; d++ {
+		lo[d] = g.cellIndex(d, q.Lo[d])
+		hi[d] = g.cellIndex(d, q.Hi[d])
+	}
+	touched := 0
+	idx := make([]int, g.k)
+	copy(idx, lo)
+	for {
+		var sb strings.Builder
+		for d := 0; d < g.k; d++ {
+			if d > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(idx[d]))
+		}
+		if b := g.dir[sb.String()]; b != nil {
+			touched++
+			for _, e := range b.entries {
+				if q.ContainsPoint(e.p) {
+					if !visit(e.p, e.id) {
+						return touched
+					}
+				}
+			}
+		}
+		// Advance the odometer.
+		d := 0
+		for ; d < g.k; d++ {
+			idx[d]++
+			if idx[d] <= hi[d] {
+				break
+			}
+			idx[d] = lo[d]
+		}
+		if d == g.k {
+			return touched
+		}
+	}
+}
+
+// All visits every stored point.
+func (g *Grid) All(visit func(p []float64, id int64) bool) {
+	for _, b := range g.dir {
+		for _, e := range b.entries {
+			if !visit(e.p, e.id) {
+				return
+			}
+		}
+	}
+}
+
+// NumCells returns the number of occupied directory cells.
+func (g *Grid) NumCells() int { return len(g.dir) }

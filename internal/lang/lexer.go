@@ -1,0 +1,169 @@
+// Package lang implements a small textual language for constraint queries,
+// used by the CLI and the examples. A program has the form
+//
+//	find T in towns, R in roads, B in states
+//	given C, A
+//	where
+//	  A <= C;
+//	  B <= C;
+//	  R <= A | B | T;
+//	  R & A != 0;
+//	  R & T != 0;
+//	  T !<= C
+//
+// Formulas use & (meet), | (join), ~ (complement), constants 0 and 1, and
+// parentheses. Constraint operators are <= (containment), !<= (negated
+// containment), = and != (equality/disequality, desugared per §1), along
+// with the convenience forms `disjoint(f,g)` and `overlaps(f,g)`.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind discriminates lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokZero   // 0
+	TokOne    // 1
+	TokAnd    // &
+	TokOr     // |
+	TokNot    // ~
+	TokLParen // (
+	TokRParen // )
+	TokComma  // ,
+	TokSemi   // ;
+	TokLeq    // <=
+	TokNLeq   // !<=
+	TokEq     // =
+	TokNeq    // !=
+	TokFind   // keyword
+	TokIn     // keyword
+	TokGiven  // keyword
+	TokWhere  // keyword
+)
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Lex tokenizes the input, returning a token stream or a positioned error.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '&':
+			toks = append(toks, Token{TokAnd, "&", i})
+			i++
+		case c == '|':
+			toks = append(toks, Token{TokOr, "|", i})
+			i++
+		case c == '~':
+			toks = append(toks, Token{TokNot, "~", i})
+			i++
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i})
+			i++
+		case c == ';':
+			toks = append(toks, Token{TokSemi, ";", i})
+			i++
+		case c == '0':
+			toks = append(toks, Token{TokZero, "0", i})
+			i++
+		case c == '1':
+			toks = append(toks, Token{TokOne, "1", i})
+			i++
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, Token{TokLeq, "<=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("lang: offset %d: expected <=, got <%c", i, peek(src, i+1))
+			}
+		case c == '=':
+			toks = append(toks, Token{TokEq, "=", i})
+			i++
+		case c == '!':
+			switch {
+			case strings.HasPrefix(src[i:], "!<="):
+				toks = append(toks, Token{TokNLeq, "!<=", i})
+				i += 3
+			case strings.HasPrefix(src[i:], "!="):
+				toks = append(toks, Token{TokNeq, "!=", i})
+				i += 2
+			default:
+				return nil, fmt.Errorf("lang: offset %d: expected != or !<=", i)
+			}
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			kind := TokIdent
+			switch word {
+			case "find":
+				kind = TokFind
+			case "in":
+				kind = TokIn
+			case "given":
+				kind = TokGiven
+			case "where":
+				kind = TokWhere
+			}
+			toks = append(toks, Token{kind, word, i})
+			i = j
+		default:
+			return nil, fmt.Errorf("lang: offset %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", len(src)})
+	return toks, nil
+}
+
+func peek(s string, i int) byte {
+	if i < len(s) {
+		return s[i]
+	}
+	return ' '
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

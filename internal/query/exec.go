@@ -1,0 +1,98 @@
+package query
+
+import (
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+// Run executes the compiled plan: parameters are bound, the ground
+// (parameter-only) residual is checked once, then solution tuples are
+// built incrementally with per-step range queries and filters per opts.
+// Every complete tuple is verified against the original system in the
+// exact region algebra regardless of opts, so all configurations return
+// the same solutions.
+func (p *Plan) Run(store *spatialdb.Store, params map[string]*region.Region, opts Options) (*Result, error) {
+	alg := region.NewAlgebra(store.Universe())
+	env, err := bindParams(p.Query, alg, params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	store.ResetStats()
+	defer func() { res.Stats.DB = store.TotalStats() }()
+
+	if p.Form.Unsat {
+		res.Stats.GroundFailed = true
+		return res, nil
+	}
+	if !p.Form.Ground.Satisfied(alg, env) {
+		res.Stats.GroundFailed = true
+		return res, nil
+	}
+
+	k := store.K()
+	envBox := make([]bbox.Box, p.Query.Sys.Vars.Len())
+	for v := range envBox {
+		if env[v] != nil {
+			envBox[v] = env[v].(*region.Region).BoundingBox()
+		}
+	}
+	tuple := make([]spatialdb.Object, len(p.Steps))
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(p.Steps) {
+			res.Stats.FinalChecked++
+			if p.Query.Sys.Satisfied(alg, env) {
+				res.Stats.Solutions++
+				objs := append([]spatialdb.Object(nil), tuple...)
+				res.Solutions = append(res.Solutions, Solution{Objects: objs})
+			} else {
+				res.Stats.FinalRejected++
+			}
+			return
+		}
+		sp := p.Steps[i]
+		step := p.Form.Steps[i]
+		layer := store.Layer(sp.Layer)
+
+		consider := func(o spatialdb.Object) bool {
+			res.Stats.Candidates++
+			if opts.UseExact && !step.Satisfied(alg, env, o.Reg) {
+				res.Stats.ExactRejects++
+				return true
+			}
+			res.Stats.Extended++
+			tuple[i] = o
+			env[sp.Var] = o.Reg
+			envBox[sp.Var] = o.Box
+			rec(i + 1)
+			env[sp.Var] = nil
+			envBox[sp.Var] = bbox.Box{}
+			return true
+		}
+
+		if opts.UseIndex {
+			spec, ok := sp.Spec(k, envBox)
+			if !ok {
+				return // this prefix admits no extension
+			}
+			layer.Search(spec, consider)
+		} else {
+			layer.All(consider)
+		}
+	}
+	rec(0)
+	return res, nil
+}
+
+// CompileAndRun is the one-call convenience: compile with Compile, execute
+// with DefaultOptions.
+func CompileAndRun(q *Query, store *spatialdb.Store, params map[string]*region.Region) (*Result, error) {
+	plan, err := Compile(q, store)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Run(store, params, DefaultOptions)
+}

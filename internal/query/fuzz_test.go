@@ -1,0 +1,161 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/formula"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+// randSystem builds a random constraint system over two retrieval
+// variables (x, y) and one parameter (C) from a seeded RNG. It returns the
+// query with retrieval bindings attached.
+func randSystem(rng *workload.RNG) *Query {
+	q := New()
+	x := q.Sys.Var("x")
+	y := q.Sys.Var("y")
+	c := q.Sys.Var("C")
+	atoms := []*formula.Formula{x, y, c, formula.One()}
+
+	randFormula := func() *formula.Formula {
+		f := atoms[rng.IntN(len(atoms))]
+		for i := 0; i < rng.IntN(3); i++ {
+			g := atoms[rng.IntN(len(atoms))]
+			switch rng.IntN(3) {
+			case 0:
+				f = formula.And(f, g)
+			case 1:
+				f = formula.Or(f, g)
+			default:
+				f = formula.And(f, formula.Not(g))
+			}
+		}
+		return f
+	}
+
+	ncons := 1 + rng.IntN(4)
+	for i := 0; i < ncons; i++ {
+		f, g := randFormula(), randFormula()
+		switch rng.IntN(5) {
+		case 0:
+			q.Sys.Subset(f, g)
+		case 1:
+			q.Sys.NotSubset(f, g)
+		case 2:
+			q.Sys.Overlap(f, g)
+		case 3:
+			q.Sys.Disjoint(f, g)
+		default:
+			q.Sys.NonEmpty(f)
+		}
+	}
+	// Make sure both retrieval variables appear somewhere.
+	q.Sys.Overlap(x, formula.One())
+	q.Sys.Overlap(y, formula.One())
+	return q.From("x", "xs").From("y", "ys")
+}
+
+// TestFuzzOptimizedAgainstNaive is the end-to-end differential test: for
+// random constraint systems over random stores, every optimizer
+// configuration must return exactly the naive cross product's solutions.
+// This exercises normalization, projection, solved forms, bounding-box
+// approximation, the indexes and the executor together.
+func TestFuzzOptimizedAgainstNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz test skipped in -short mode")
+	}
+	universe := bbox.Rect(0, 0, 64, 64)
+	for trial := 0; trial < 40; trial++ {
+		rng := workload.NewRNG(uint64(trial) + 1000)
+		q := randSystem(rng)
+
+		kind := []spatialdb.IndexKind{
+			spatialdb.Scan, spatialdb.RTree, spatialdb.PointRTree, spatialdb.Grid,
+		}[trial%4]
+		store := spatialdb.NewStore(universe, kind)
+		for i := 0; i < 6; i++ {
+			store.MustInsert("xs", fmt.Sprintf("x%d", i), workload.RandRegion(rng, universe, 2))
+			store.MustInsert("ys", fmt.Sprintf("y%d", i), workload.RandRegion(rng, universe, 2))
+		}
+		params := map[string]*region.Region{"C": workload.RandRegion(rng, universe, 2)}
+
+		naive, err := RunNaive(q, store, params)
+		if err != nil {
+			t.Fatalf("trial %d: naive: %v", trial, err)
+		}
+		plan, err := Compile(q, store)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\nsystem:\n%s", trial, err, q.Sys)
+		}
+		for _, opts := range []Options{
+			{UseIndex: false, UseExact: false},
+			{UseIndex: false, UseExact: true},
+			{UseIndex: true, UseExact: false},
+			{UseIndex: true, UseExact: true},
+		} {
+			res, err := plan.Run(store, params, opts)
+			if err != nil {
+				t.Fatalf("trial %d: run: %v", trial, err)
+			}
+			if res.Stats.Solutions != naive.Stats.Solutions {
+				t.Fatalf("trial %d (%v, opts %+v): optimized %d solutions, naive %d\nsystem:\n%s\nplan:\n%s",
+					trial, kind, opts, res.Stats.Solutions, naive.Stats.Solutions,
+					q.Sys, plan.Explain())
+			}
+		}
+	}
+}
+
+// TestFuzzThreeVariableChains stresses deeper retrieval chains (3 steps)
+// where projections compose: again optimized must equal naive.
+func TestFuzzThreeVariableChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz test skipped in -short mode")
+	}
+	universe := bbox.Rect(0, 0, 64, 64)
+	for trial := 0; trial < 15; trial++ {
+		rng := workload.NewRNG(uint64(trial) + 5000)
+		q := New()
+		x := q.Sys.Var("x")
+		y := q.Sys.Var("y")
+		z := q.Sys.Var("z")
+		c := q.Sys.Var("C")
+		// Chain-shaped system with a random twist per trial.
+		q.Sys.Subset(x, formula.Or(y, c))
+		q.Sys.Overlap(y, z)
+		switch trial % 3 {
+		case 0:
+			q.Sys.NotSubset(z, c)
+		case 1:
+			q.Sys.Disjoint(x, formula.Not(c))
+		default:
+			q.Sys.NonEmpty(formula.And(y, c))
+		}
+		q.From("x", "xs").From("y", "ys").From("z", "zs")
+
+		store := spatialdb.NewStore(universe, spatialdb.RTree)
+		for i := 0; i < 5; i++ {
+			store.MustInsert("xs", fmt.Sprintf("x%d", i), workload.RandRegion(rng, universe, 2))
+			store.MustInsert("ys", fmt.Sprintf("y%d", i), workload.RandRegion(rng, universe, 2))
+			store.MustInsert("zs", fmt.Sprintf("z%d", i), workload.RandRegion(rng, universe, 2))
+		}
+		params := map[string]*region.Region{"C": workload.RandRegion(rng, universe, 2)}
+
+		naive, err := RunNaive(q, store, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompileAndRun(q, store, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Solutions != naive.Stats.Solutions {
+			t.Fatalf("trial %d: optimized %d, naive %d\nsystem:\n%s",
+				trial, res.Stats.Solutions, naive.Stats.Solutions, q.Sys)
+		}
+	}
+}

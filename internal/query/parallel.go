@@ -1,0 +1,189 @@
+package query
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bbox"
+	"repro/internal/boolalg"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+// RunParallel executes the plan like Run but fans the first retrieval
+// step's candidates out over the given number of worker goroutines, each
+// continuing the remaining steps independently. Results and statistics are
+// identical to the serial executor (solutions are returned in a canonical
+// order sorted by object ids); only wall-clock time changes. Workers ≤ 1
+// falls back to Run.
+//
+// Safe because all shared state is read-only during execution: the plan,
+// the store's layers (Search is concurrency-safe) and the parameter
+// regions. Each worker owns its environment and tuple buffers.
+func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Region, opts Options, workers int) (*Result, error) {
+	if workers <= 1 || len(p.Steps) == 0 {
+		res, err := p.Run(store, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		sortSolutions(res.Solutions)
+		return res, nil
+	}
+	alg := region.NewAlgebra(store.Universe())
+	env, err := bindParams(p.Query, alg, params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	store.ResetStats()
+	defer func() { res.Stats.DB = store.TotalStats() }()
+
+	if p.Form.Unsat || !p.Form.Ground.Satisfied(alg, env) {
+		res.Stats.GroundFailed = true
+		return res, nil
+	}
+
+	k := store.K()
+	envBox := make([]bbox.Box, p.Query.Sys.Vars.Len())
+	for v := range envBox {
+		if env[v] != nil {
+			envBox[v] = env[v].(*region.Region).BoundingBox()
+		}
+	}
+
+	// Stage 1: gather the first step's candidates serially (one range
+	// query), applying the same filters the serial executor would.
+	sp := p.Steps[0]
+	step := p.Form.Steps[0]
+	var firsts []spatialdb.Object
+	firstStats := Stats{}
+	gather := func(o spatialdb.Object) bool {
+		firstStats.Candidates++
+		if opts.UseExact && !step.Satisfied(alg, env, o.Reg) {
+			firstStats.ExactRejects++
+			return true
+		}
+		firstStats.Extended++
+		firsts = append(firsts, o)
+		return true
+	}
+	if opts.UseIndex {
+		spec, ok := sp.Spec(k, envBox)
+		if !ok {
+			return res, nil
+		}
+		store.Layer(sp.Layer).Search(spec, gather)
+	} else {
+		store.Layer(sp.Layer).All(gather)
+	}
+
+	// Stage 2: workers drain the candidate list.
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next int
+	)
+	res.Stats = firstStats
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wenv := append([]boolalg.Element(nil), env...)
+			wbox := append([]bbox.Box(nil), envBox...)
+			tuple := make([]spatialdb.Object, len(p.Steps))
+			var wstats Stats
+			var wsols []Solution
+			for {
+				mu.Lock()
+				if next >= len(firsts) {
+					mu.Unlock()
+					break
+				}
+				o := firsts[next]
+				next++
+				mu.Unlock()
+
+				tuple[0] = o
+				wenv[sp.Var] = o.Reg
+				wbox[sp.Var] = o.Box
+				p.runFrom(1, store, alg, wenv, wbox, tuple, opts, &wstats, &wsols)
+				wenv[sp.Var] = nil
+				wbox[sp.Var] = bbox.Box{}
+			}
+			mu.Lock()
+			mergeStats(&res.Stats, wstats)
+			res.Solutions = append(res.Solutions, wsols...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sortSolutions(res.Solutions)
+	return res, nil
+}
+
+// runFrom is the serial recursion from step i, writing into caller-owned
+// buffers (shared-nothing between workers).
+func (p *Plan) runFrom(i int, store *spatialdb.Store, alg *region.Algebra,
+	env []boolalg.Element, envBox []bbox.Box, tuple []spatialdb.Object,
+	opts Options, stats *Stats, sols *[]Solution) {
+	if i == len(p.Steps) {
+		stats.FinalChecked++
+		if p.Query.Sys.Satisfied(alg, env) {
+			stats.Solutions++
+			objs := append([]spatialdb.Object(nil), tuple...)
+			*sols = append(*sols, Solution{Objects: objs})
+		} else {
+			stats.FinalRejected++
+		}
+		return
+	}
+	sp := p.Steps[i]
+	step := p.Form.Steps[i]
+	consider := func(o spatialdb.Object) bool {
+		stats.Candidates++
+		if opts.UseExact && !step.Satisfied(alg, env, o.Reg) {
+			stats.ExactRejects++
+			return true
+		}
+		stats.Extended++
+		tuple[i] = o
+		env[sp.Var] = o.Reg
+		envBox[sp.Var] = o.Box
+		p.runFrom(i+1, store, alg, env, envBox, tuple, opts, stats, sols)
+		env[sp.Var] = nil
+		envBox[sp.Var] = bbox.Box{}
+		return true
+	}
+	if opts.UseIndex {
+		spec, ok := sp.Spec(store.K(), envBox)
+		if !ok {
+			return
+		}
+		store.Layer(sp.Layer).Search(spec, consider)
+	} else {
+		store.Layer(sp.Layer).All(consider)
+	}
+}
+
+func mergeStats(dst *Stats, src Stats) {
+	dst.Candidates += src.Candidates
+	dst.ExactRejects += src.ExactRejects
+	dst.Extended += src.Extended
+	dst.FinalChecked += src.FinalChecked
+	dst.FinalRejected += src.FinalRejected
+	dst.Solutions += src.Solutions
+}
+
+// sortSolutions orders tuples by their object ids, a canonical order
+// independent of worker scheduling.
+func sortSolutions(sols []Solution) {
+	sort.Slice(sols, func(i, j int) bool {
+		a, b := sols[i].Objects, sols[j].Objects
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k].ID != b[k].ID {
+				return a[k].ID < b[k].ID
+			}
+		}
+		return len(a) < len(b)
+	})
+}

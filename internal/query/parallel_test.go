@@ -1,0 +1,80 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	store, params := smugglerFixture(t, spatialdb.RTree, workload.MapConfig{Seed: 42, Roads: 60, Towns: 24, Interior: 24})
+	plan, err := Compile(Smuggler(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := plan.RunParallel(store, params, DefaultOptions, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := plan.RunParallel(store, params, DefaultOptions, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalKeys(solutionKeys(par), solutionKeys(serial)) {
+			t.Fatalf("%d workers: %d solutions, serial %d",
+				workers, len(par.Solutions), len(serial.Solutions))
+		}
+		// Work counters are schedule-independent.
+		if par.Stats.Candidates != serial.Stats.Candidates ||
+			par.Stats.Extended != serial.Stats.Extended ||
+			par.Stats.FinalChecked != serial.Stats.FinalChecked {
+			t.Errorf("%d workers: stats differ: %+v vs %+v",
+				workers, par.Stats, serial.Stats)
+		}
+		// Canonical solution order regardless of scheduling.
+		for i := range par.Solutions {
+			for j, o := range par.Solutions[i].Objects {
+				if o.ID != serial.Solutions[i].Objects[j].ID {
+					t.Fatalf("%d workers: solution order differs at %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelGroundFailure(t *testing.T) {
+	store, _ := smugglerFixture(t, spatialdb.Scan, workload.MapConfig{Seed: 1})
+	plan, err := Compile(Smuggler(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := workload.GenMap(workload.MapConfig{Seed: 1})
+	// Swapping area and country makes the ground constraint A ⊑ C fail.
+	bad := map[string]*region.Region{"C": m.Area, "A": m.Country}
+	res, err := plan.RunParallel(store, bad, DefaultOptions, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.GroundFailed || len(res.Solutions) != 0 {
+		t.Errorf("ground failure not detected in parallel mode")
+	}
+}
+
+// Run the race detector over concurrent execution paths (go test -race).
+func TestRunParallelStressAllBackends(t *testing.T) {
+	for _, kind := range []spatialdb.IndexKind{spatialdb.RTree, spatialdb.Grid, spatialdb.ZOrderIdx} {
+		store, params := smugglerFixture(t, kind, workload.MapConfig{Seed: 9})
+		plan, err := Compile(Smuggler(), store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			if _, err := plan.RunParallel(store, params, DefaultOptions, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bbox"
+	"repro/internal/spatialdb"
+	"repro/internal/triangular"
+)
+
+// DiseqBoxPlan holds the compiled bounding-box approximations of one
+// solved disequation x∧P ∨ ¬x∧Q ≠ 0. Both functions approximate from
+// above. At run time, when U_Q evaluates to the empty box the disequation
+// forces x∧P ≠ 0, which the plan turns into the range-query overlap
+// constraint ⌈x⌉ ⊓ U_P ≠ ∅ (§4's conditional approximation).
+type DiseqBoxPlan struct {
+	P, Q *bbox.Func
+}
+
+// StepBoxPlan is the compiled per-variable range-query template.
+type StepBoxPlan struct {
+	Var    int
+	Layer  string
+	Lower  *bbox.Func // approximates the solved lower bound s from below
+	Upper  *bbox.Func // approximates the solved upper bound t from above
+	Diseqs []DiseqBoxPlan
+}
+
+// Spec instantiates the range query for a concrete prefix (envBox binds
+// the bounding boxes of parameters and earlier variables). The second
+// result is false when the step is statically unsatisfiable for this
+// prefix — the whole prefix can be pruned.
+func (sp StepBoxPlan) Spec(k int, envBox []bbox.Box) (bbox.RangeSpec, bool) {
+	spec := bbox.RangeSpec{
+		K:     k,
+		Lower: sp.Lower.Eval(k, envBox),
+		Upper: sp.Upper.Eval(k, envBox),
+	}
+	for _, d := range sp.Diseqs {
+		if !d.Q.Eval(k, envBox).IsEmpty() {
+			// ¬x∧Q can witness the disequation for any x: no box
+			// constraint derivable (the paper's "trivial constraint true"
+			// case).
+			continue
+		}
+		p := d.P.Eval(k, envBox)
+		if p.IsEmpty() {
+			// Both branches empty: the disequation cannot hold.
+			return bbox.RangeSpec{}, false
+		}
+		if p.Equal(bbox.Univ(k)) {
+			// ⌈x⌉ ⊓ universe ≠ ∅ holds for every stored object: trivial.
+			continue
+		}
+		spec.Overlaps = append(spec.Overlaps, p)
+	}
+	if spec.Unsatisfiable() {
+		return bbox.RangeSpec{}, false
+	}
+	return spec, true
+}
+
+// Plan is a compiled query: the triangular solved form plus one range-query
+// template per retrieval step.
+type Plan struct {
+	Query *Query
+	Form  *triangular.Form
+	Steps []StepBoxPlan
+}
+
+// Compile runs the full §3+§4 pipeline on the query against the given
+// store's schema.
+func Compile(q *Query, store *spatialdb.Store) (*Plan, error) {
+	if err := validate(q, store); err != nil {
+		return nil, err
+	}
+	order := make([]int, len(q.Retrieve))
+	for i, b := range q.Retrieve {
+		order[i], _ = q.Sys.Vars.Lookup(b.Var)
+	}
+	form, err := triangular.Compile(q.Sys.Normalize(), order)
+	if err != nil {
+		return nil, fmt.Errorf("query: triangularization failed: %w", err)
+	}
+	plan := &Plan{Query: q, Form: form}
+	for i, st := range form.Steps {
+		sp := StepBoxPlan{Var: st.Var, Layer: q.Retrieve[i].Layer}
+		if sp.Lower, err = bbox.Lower(st.Lower); err != nil {
+			return nil, fmt.Errorf("query: lower approximation for %s: %w", q.Retrieve[i].Var, err)
+		}
+		if sp.Upper, err = bbox.Upper(st.Upper); err != nil {
+			return nil, fmt.Errorf("query: upper approximation for %s: %w", q.Retrieve[i].Var, err)
+		}
+		for _, d := range st.Diseqs {
+			var dp DiseqBoxPlan
+			if dp.P, err = bbox.Upper(d.P); err != nil {
+				return nil, fmt.Errorf("query: disequation approximation: %w", err)
+			}
+			if dp.Q, err = bbox.Upper(d.Q); err != nil {
+				return nil, fmt.Errorf("query: disequation approximation: %w", err)
+			}
+			sp.Diseqs = append(sp.Diseqs, dp)
+		}
+		plan.Steps = append(plan.Steps, sp)
+	}
+	return plan, nil
+}
+
+// Explain renders the plan: the triangular solved form followed by the
+// per-step range-query templates, in the paper's notation.
+func (p *Plan) Explain() string {
+	name := p.Query.Sys.Vars.Name
+	var b strings.Builder
+	b.WriteString("triangular solved form:\n")
+	b.WriteString(indent(p.Form.StringNamed(name)))
+	b.WriteString("\nrange-query plan:\n")
+	for i, sp := range p.Steps {
+		fmt.Fprintf(&b, "  step %d: retrieve %s from layer %q\n",
+			i+1, name(sp.Var), sp.Layer)
+		fmt.Fprintf(&b, "    %s <= [%s] <= %s\n",
+			sp.Lower.StringNamed(name), name(sp.Var), sp.Upper.StringNamed(name))
+		for _, d := range sp.Diseqs {
+			fmt.Fprintf(&b, "    [%s] ^ %s != ∅   (when %s = ∅)\n",
+				name(sp.Var), d.P.StringNamed(name), d.Q.StringNamed(name))
+		}
+	}
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

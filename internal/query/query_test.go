@@ -1,0 +1,441 @@
+package query
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/formula"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+// smugglerFixture builds a populated store plus parameter map for the §2
+// scenario.
+func smugglerFixture(t *testing.T, kind spatialdb.IndexKind, cfg workload.MapConfig) (*spatialdb.Store, map[string]*region.Region) {
+	t.Helper()
+	m := workload.GenMap(cfg)
+	store := spatialdb.NewStore(m.Config.Universe, kind)
+	m.Populate(store)
+	params := map[string]*region.Region{
+		"C": m.Country,
+		"A": m.Area,
+	}
+	return store, params
+}
+
+// solutionKey renders a solution set canonically for comparison.
+func solutionKeys(res *Result) []string {
+	keys := make([]string, 0, len(res.Solutions))
+	for _, s := range res.Solutions {
+		keys = append(keys, strings.Join(s.Names(), "|"))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestE1SmugglerAllModesAgree is the core E1 soundness check: the naive
+// nested loop and every optimized configuration return the same solution
+// set, and the optimized executor examines far fewer candidates.
+func TestE1SmugglerAllModesAgree(t *testing.T) {
+	store, params := smugglerFixture(t, spatialdb.RTree, workload.MapConfig{Seed: 42})
+	q := Smuggler()
+
+	naive, err := RunNaive(q, store, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Stats.Solutions == 0 {
+		t.Fatalf("scenario has no solutions — workload broken")
+	}
+	want := solutionKeys(naive)
+
+	plan, err := Compile(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []Options{
+		{UseIndex: false, UseExact: false},
+		{UseIndex: false, UseExact: true},
+		{UseIndex: true, UseExact: false},
+		{UseIndex: true, UseExact: true},
+	}
+	for _, opts := range configs {
+		res, err := plan.Run(store, params, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := solutionKeys(res); !equalKeys(got, want) {
+			t.Errorf("opts %+v: %d solutions, naive %d", opts, len(got), len(want))
+		}
+	}
+
+	full, err := plan.Run(store, params, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Candidates*2 > naive.Stats.Candidates {
+		t.Errorf("full pipeline examined %d candidates, naive %d — no pruning win",
+			full.Stats.Candidates, naive.Stats.Candidates)
+	}
+}
+
+// TestE1SolutionSemantics spot-checks the meaning of each solution: the
+// town straddles the border, the road overlaps town and area, and the road
+// stays within area ∪ state ∪ town.
+func TestE1SolutionSemantics(t *testing.T) {
+	m := workload.GenMap(workload.MapConfig{Seed: 42})
+	store := spatialdb.NewStore(m.Config.Universe, spatialdb.RTree)
+	m.Populate(store)
+	params := map[string]*region.Region{"C": m.Country, "A": m.Area}
+
+	res, err := CompileAndRun(Smuggler(), store, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sol := range res.Solutions {
+		town, road, state := sol.Objects[0].Reg, sol.Objects[1].Reg, sol.Objects[2].Reg
+		if town.Difference(m.Country).IsEmpty() {
+			t.Errorf("town %s does not straddle the border", sol.Objects[0].Name)
+		}
+		if !road.Overlaps(town) {
+			t.Errorf("road %s misses town %s", sol.Objects[1].Name, sol.Objects[0].Name)
+		}
+		if !road.Overlaps(m.Area) {
+			t.Errorf("road %s misses the area", sol.Objects[1].Name)
+		}
+		cover := m.Area.Union(state).Union(town)
+		if !road.Leq(cover) {
+			t.Errorf("road %s leaves area ∪ state ∪ town", sol.Objects[1].Name)
+		}
+		if !state.Leq(m.Country) {
+			t.Errorf("state %s outside the country", sol.Objects[2].Name)
+		}
+		// No solution may use an interior decoy town.
+		if strings.HasPrefix(sol.Objects[0].Name, "town-") {
+			t.Errorf("interior town %s in a solution", sol.Objects[0].Name)
+		}
+	}
+}
+
+// TestE1PlanShape asserts the bounding-box plan the paper derives in §2:
+// T is unconstrained at the box level, R gets upper bound ⌈C⌉⊔⌈T⌉ plus
+// overlap witnesses ⌈A⌉ and ⌈T⌉, and B gets upper bound ⌈C⌉.
+func TestE1PlanShape(t *testing.T) {
+	store, _ := smugglerFixture(t, spatialdb.Scan, workload.MapConfig{Seed: 1})
+	q := Smuggler()
+	plan, err := Compile(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := q.Sys.Vars
+	idOf := func(name string) int {
+		v, ok := vars.Lookup(name)
+		if !ok {
+			t.Fatalf("variable %s missing", name)
+		}
+		return v
+	}
+	k := 2
+	// Sample boxes to compare box functions semantically.
+	envBox := make([]bbox.Box, vars.Len())
+	envBox[idOf("C")] = bbox.Rect(10, 10, 90, 90)
+	envBox[idOf("A")] = bbox.Rect(30, 30, 50, 50)
+	envBox[idOf("T")] = bbox.Rect(5, 40, 15, 50)
+
+	// Step 1 (T): trivial bounds — lower empty, upper universe, and any
+	// overlap witnesses must be trivial too (the paper's ⌈T⌉ ⊑ 1 line).
+	st := plan.Steps[0]
+	if !st.Lower.Eval(k, envBox).IsEmpty() {
+		t.Errorf("T lower bound = %v, want empty", st.Lower)
+	}
+	if !st.Upper.Eval(k, envBox).Equal(bbox.Univ(k)) {
+		t.Errorf("T upper bound = %v, want universe", st.Upper)
+	}
+	spec, ok := st.Spec(k, envBox)
+	if !ok {
+		t.Fatalf("T spec unsatisfiable")
+	}
+	if len(spec.Overlaps) != 0 {
+		t.Errorf("T spec has overlap constraints %v — paper derives none", spec.Overlaps)
+	}
+
+	// Step 2 (R): upper bound ⌈C⌉ ⊔ ⌈T⌉, overlaps {⌈A⌉, ⌈T⌉}.
+	st = plan.Steps[1]
+	wantUpper := envBox[idOf("C")].Join(envBox[idOf("T")])
+	if got := st.Upper.Eval(k, envBox); !got.Equal(wantUpper) {
+		t.Errorf("R upper bound = %v, want ⌈C⌉⊔⌈T⌉ = %v (func %v)", got, wantUpper, st.Upper)
+	}
+	spec, ok = st.Spec(k, envBox)
+	if !ok {
+		t.Fatalf("R spec unsatisfiable")
+	}
+	wantOverlaps := map[string]bool{
+		envBox[idOf("A")].String(): true,
+		envBox[idOf("T")].String(): true,
+	}
+	if len(spec.Overlaps) != 2 {
+		t.Fatalf("R spec overlaps = %v, want ⌈A⌉ and ⌈T⌉", spec.Overlaps)
+	}
+	for _, o := range spec.Overlaps {
+		if !wantOverlaps[o.String()] {
+			t.Errorf("unexpected R overlap witness %v", o)
+		}
+	}
+
+	// Step 3 (B): upper bound ⌈C⌉.
+	st = plan.Steps[2]
+	if got := st.Upper.Eval(k, envBox); !got.Equal(envBox[idOf("C")]) {
+		t.Errorf("B upper bound = %v, want ⌈C⌉ (func %v)", got, st.Upper)
+	}
+
+	// Explain must mention every step.
+	exp := plan.Explain()
+	for _, want := range []string{"step 1", "step 2", "step 3", "towns", "roads", "states"} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("Explain missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+// All four index backends must produce identical solutions (E11 at the
+// query level).
+func TestAllBackendsProduceSameSolutions(t *testing.T) {
+	var want []string
+	kinds := []spatialdb.IndexKind{spatialdb.Scan, spatialdb.RTree, spatialdb.PointRTree, spatialdb.Grid, spatialdb.ZOrderIdx}
+	for i, kind := range kinds {
+		store, params := smugglerFixture(t, kind, workload.MapConfig{Seed: 7})
+		res, err := CompileAndRun(Smuggler(), store, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := solutionKeys(res)
+		if i == 0 {
+			want = keys
+			if len(want) == 0 {
+				t.Fatalf("no solutions on seed 7")
+			}
+			continue
+		}
+		if !equalKeys(keys, want) {
+			t.Errorf("backend %v: %d solutions, scan %d", kind, len(keys), len(want))
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 10, 10), spatialdb.Scan)
+	store.MustInsert("towns", "t", region.FromBox(bbox.Rect(0, 0, 1, 1)))
+
+	// No retrieval variables.
+	q := New()
+	q.Sys.Var("x")
+	if _, err := Compile(q, store); err == nil {
+		t.Errorf("empty retrieval accepted")
+	}
+	// Unknown variable.
+	q = New().From("nosuch", "towns")
+	if _, err := Compile(q, store); err == nil {
+		t.Errorf("unknown retrieval variable accepted")
+	}
+	// Unknown layer.
+	q = New()
+	x := q.Sys.Var("x")
+	q.Sys.NonEmpty(x)
+	q.From("x", "nolayer")
+	if _, err := Compile(q, store); err == nil {
+		t.Errorf("unknown layer accepted")
+	}
+	// Duplicate retrieval.
+	q = New()
+	x = q.Sys.Var("x")
+	q.Sys.NonEmpty(x)
+	q.From("x", "towns").From("x", "towns")
+	if _, err := Compile(q, store); err == nil {
+		t.Errorf("duplicate retrieval accepted")
+	}
+}
+
+func TestUnboundParameter(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 10, 10), spatialdb.Scan)
+	store.MustInsert("towns", "t", region.FromBox(bbox.Rect(0, 0, 1, 1)))
+	q := New()
+	x, c := q.Sys.Var("x"), q.Sys.Var("C")
+	q.Sys.Subset(x, c)
+	q.From("x", "towns")
+	plan, err := Compile(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Run(store, nil, DefaultOptions); err == nil {
+		t.Errorf("run with unbound parameter succeeded")
+	}
+	if _, err := RunNaive(q, store, nil); err == nil {
+		t.Errorf("naive run with unbound parameter succeeded")
+	}
+}
+
+func TestGroundUnsatShortCircuits(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 100, 100), spatialdb.Scan)
+	store.MustInsert("objs", "o", region.FromBox(bbox.Rect(0, 0, 5, 5)))
+	q := New()
+	x, a, c := q.Sys.Var("x"), q.Sys.Var("A"), q.Sys.Var("C")
+	q.Sys.Subset(a, c).Subset(x, c)
+	q.From("x", "objs")
+	plan, err := Compile(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ⋢ C: ground constraint fails.
+	params := map[string]*region.Region{
+		"A": region.FromBox(bbox.Rect(0, 0, 50, 50)),
+		"C": region.FromBox(bbox.Rect(60, 60, 70, 70)),
+	}
+	res, err := plan.Run(store, params, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.GroundFailed || len(res.Solutions) != 0 {
+		t.Errorf("ground failure not detected: %+v", res.Stats)
+	}
+	if res.Stats.Candidates != 0 {
+		t.Errorf("candidates examined despite ground failure")
+	}
+}
+
+func TestStaticallyUnsatisfiableQuery(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 100, 100), spatialdb.Scan)
+	store.MustInsert("objs", "o", region.FromBox(bbox.Rect(0, 0, 5, 5)))
+	q := New()
+	x := q.Sys.Var("x")
+	q.Sys.Subset(x, formula.Zero()).NonEmpty(x)
+	q.From("x", "objs")
+	plan, err := Compile(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Run(store, nil, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 || !res.Stats.GroundFailed {
+		t.Errorf("unsatisfiable query returned solutions")
+	}
+}
+
+// TestSingleVariableContainmentQuery exercises the simplest pipeline: find
+// objects inside a parameter region.
+func TestSingleVariableContainmentQuery(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 100, 100), spatialdb.RTree)
+	in := store.MustInsert("objs", "in", region.FromBox(bbox.Rect(10, 10, 20, 20)))
+	store.MustInsert("objs", "out", region.FromBox(bbox.Rect(80, 80, 90, 90)))
+	store.MustInsert("objs", "half", region.FromBox(bbox.Rect(25, 25, 45, 45)))
+
+	q := New()
+	x, c := q.Sys.Var("x"), q.Sys.Var("C")
+	q.Sys.Subset(x, c)
+	q.From("x", "objs")
+	params := map[string]*region.Region{"C": region.FromBox(bbox.Rect(0, 0, 30, 30))}
+
+	res, err := CompileAndRun(q, store, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0].Objects[0].ID != in.ID {
+		t.Errorf("containment query = %v", solutionKeys(res))
+	}
+}
+
+// TestOverlapJoinQuery is the binary spatial join: pairs of overlapping
+// objects across two layers (the query class Orenstein–Manola support).
+func TestOverlapJoinQuery(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 100, 100), spatialdb.RTree)
+	rng := workload.NewRNG(3)
+	var aObjs, bObjs []spatialdb.Object
+	for i := 0; i < 40; i++ {
+		x, y := rng.Range(0, 90), rng.Range(0, 90)
+		aObjs = append(aObjs, store.MustInsert("as", "", region.FromBox(bbox.Rect(x, y, x+8, y+8))))
+		x, y = rng.Range(0, 90), rng.Range(0, 90)
+		bObjs = append(bObjs, store.MustInsert("bs", "", region.FromBox(bbox.Rect(x, y, x+8, y+8))))
+	}
+	q := New()
+	xa, xb := q.Sys.Var("x"), q.Sys.Var("y")
+	q.Sys.Overlap(xa, xb)
+	q.From("x", "as").From("y", "bs")
+
+	res, err := CompileAndRun(q, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, a := range aObjs {
+		for _, b := range bObjs {
+			if a.Reg.Overlaps(b.Reg) {
+				want++
+			}
+		}
+	}
+	if res.Stats.Solutions != want {
+		t.Errorf("join found %d pairs, brute force %d", res.Stats.Solutions, want)
+	}
+}
+
+// Stats consistency: extensions + rejects == candidates, and solutions +
+// final rejects == final checks.
+func TestStatsConsistency(t *testing.T) {
+	store, params := smugglerFixture(t, spatialdb.RTree, workload.MapConfig{Seed: 9})
+	plan, err := Compile(Smuggler(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Run(store, params, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Candidates != st.ExactRejects+st.Extended {
+		t.Errorf("candidates %d ≠ rejects %d + extended %d",
+			st.Candidates, st.ExactRejects, st.Extended)
+	}
+	if st.FinalChecked != st.Solutions+st.FinalRejected {
+		t.Errorf("final checks inconsistent: %+v", st)
+	}
+	if st.DB.Queries == 0 {
+		t.Errorf("no DB queries recorded")
+	}
+}
+
+// With the exact filter on, bbox-induced false positives at intermediate
+// steps are rejected before extension; the final verification then never
+// fires negative for single-disequation-per-level systems (Theorem 4
+// exactness). The smuggler system has at most one disequation per level
+// after projection folding — verify FinalRejected is zero in exact mode.
+func TestExactModeFinalRejections(t *testing.T) {
+	store, params := smugglerFixture(t, spatialdb.RTree, workload.MapConfig{Seed: 11})
+	plan, err := Compile(Smuggler(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Run(store, params, Options{UseIndex: true, UseExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalRejected != 0 {
+		t.Errorf("exact mode rejected %d tuples at final verification (of %d)",
+			res.Stats.FinalRejected, res.Stats.FinalChecked)
+	}
+}

@@ -1,0 +1,32 @@
+package query
+
+import "repro/internal/formula"
+
+// Smuggler builds the paper's §2/Figure 1 example query:
+//
+//	A ⊑ C                      the destination area is in the country
+//	B ⊑ C                      the state is in the country
+//	R ⊑ A ∨ B ∨ T              the road stays within area/state/town
+//	R ∧ A ≠ 0                  the road reaches the area
+//	R ∧ T ≠ 0                  the road starts at the town
+//	T ⋢ C                      the town straddles the border
+//
+// with retrieval order T (towns), R (roads), B (states) and parameters
+// C (country) and A (destination area). This is experiment E1's query; it
+// is also used by the quickstart example and the benchmarks.
+func Smuggler() *Query {
+	q := New()
+	s := q.Sys
+	C := s.Var("C")
+	A := s.Var("A")
+	T := s.Var("T")
+	R := s.Var("R")
+	B := s.Var("B")
+	s.Subset(A, C)
+	s.Subset(B, C)
+	s.Subset(R, formula.OrN(A, B, T))
+	s.Overlap(R, A)
+	s.Overlap(R, T)
+	s.NotSubset(T, C)
+	return q.From("T", "towns").From("R", "roads").From("B", "states")
+}

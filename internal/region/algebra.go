@@ -1,0 +1,67 @@
+package region
+
+import (
+	"repro/internal/bbox"
+	"repro/internal/boolalg"
+)
+
+// Algebra is the Boolean algebra of rectilinear regions inside a fixed
+// universe box, with elements identified up to null sets. It implements
+// boolalg.Algebra, so constraint formulas evaluate directly on regions.
+//
+// Within its universe the algebra is atomless in the operational sense the
+// paper needs (Theorem 5's Independence): every nonzero element can be
+// properly split (see Region.Split), so disequation witnesses can always be
+// refined.
+type Algebra struct {
+	universe bbox.Box
+}
+
+// NewAlgebra returns the region algebra over the given universe box.
+func NewAlgebra(universe bbox.Box) *Algebra {
+	if universe.IsEmpty() {
+		panic("region: empty universe")
+	}
+	return &Algebra{universe: universe}
+}
+
+// Universe returns the universe box.
+func (a *Algebra) Universe() bbox.Box { return a.universe }
+
+// K returns the dimensionality.
+func (a *Algebra) K() int { return a.universe.K }
+
+// Region converts an element back to *Region.
+func (a *Algebra) Region(e boolalg.Element) *Region { return e.(*Region) }
+
+// Clip returns r ∩ universe as an element of this algebra.
+func (a *Algebra) Clip(r *Region) boolalg.Element {
+	return r.Intersect(FromBox(a.universe))
+}
+
+// Bottom implements boolalg.Algebra.
+func (a *Algebra) Bottom() boolalg.Element { return Empty(a.universe.K) }
+
+// Top implements boolalg.Algebra.
+func (a *Algebra) Top() boolalg.Element { return FromBox(a.universe) }
+
+// Meet implements boolalg.Algebra.
+func (a *Algebra) Meet(x, y boolalg.Element) boolalg.Element {
+	return x.(*Region).Intersect(y.(*Region))
+}
+
+// Join implements boolalg.Algebra.
+func (a *Algebra) Join(x, y boolalg.Element) boolalg.Element {
+	return x.(*Region).Union(y.(*Region))
+}
+
+// Complement implements boolalg.Algebra.
+func (a *Algebra) Complement(x boolalg.Element) boolalg.Element {
+	return x.(*Region).ComplementIn(a.universe)
+}
+
+// IsBottom implements boolalg.Algebra.
+func (a *Algebra) IsBottom(x boolalg.Element) bool { return x.(*Region).IsEmpty() }
+
+// Equal implements boolalg.Algebra.
+func (a *Algebra) Equal(x, y boolalg.Element) bool { return x.(*Region).Equal(y.(*Region)) }

@@ -1,0 +1,315 @@
+// Package region implements a rectilinear region algebra over R^k: regions
+// are finite unions of axis-parallel boxes, identified up to null sets.
+//
+// This is the paper's spatial data model: the Boolean algebra of measurable
+// subsets of R^k modulo "equal almost everywhere" (§3), which is *atomless*
+// — every nonempty region has a proper nonempty subregion — and therefore
+// admits exact quantifier elimination for constraint systems (Theorems 5–6).
+// Restricting to rectilinear regions keeps every operation exact and
+// decidable while preserving atomlessness in every way the engine relies
+// on: regions can always be split (Split), and emptiness means zero
+// measure, so lower-dimensional artifacts of the closed-box representation
+// (shared faces, degenerate slivers) do not count.
+//
+// The invariant throughout: a Region's boxes are pairwise interior-disjoint
+// and all have positive volume, so Measure is a plain sum.
+package region
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bbox"
+)
+
+// Region is a finite union of interior-disjoint positive-volume boxes.
+// The zero value is the empty region in 0 dimensions; use Empty(k) for a
+// typed empty region.
+type Region struct {
+	k     int
+	boxes []bbox.Box
+}
+
+// Empty returns the empty region in k dimensions.
+func Empty(k int) *Region { return &Region{k: k} }
+
+// FromBox returns the region consisting of a single box (empty if the box
+// is empty or degenerate).
+func FromBox(b bbox.Box) *Region {
+	r := &Region{k: b.K}
+	if positiveVolume(b) {
+		r.boxes = []bbox.Box{b}
+	}
+	return r
+}
+
+// FromBoxes returns the union of the given (possibly overlapping) boxes.
+func FromBoxes(k int, boxes ...bbox.Box) *Region {
+	r := Empty(k)
+	for _, b := range boxes {
+		r = r.Union(FromBox(b))
+	}
+	return r
+}
+
+// K returns the dimensionality.
+func (r *Region) K() int { return r.k }
+
+// Boxes returns a copy of the disjoint box decomposition.
+func (r *Region) Boxes() []bbox.Box {
+	return append([]bbox.Box(nil), r.boxes...)
+}
+
+// NumBoxes returns the size of the decomposition (a complexity measure).
+func (r *Region) NumBoxes() int { return len(r.boxes) }
+
+// IsEmpty reports whether the region has measure zero.
+func (r *Region) IsEmpty() bool { return len(r.boxes) == 0 }
+
+// Measure returns the k-dimensional volume.
+func (r *Region) Measure() float64 {
+	m := 0.0
+	for _, b := range r.boxes {
+		m += b.Volume()
+	}
+	return m
+}
+
+// BoundingBox returns ⌈r⌉, the minimal enclosing box.
+func (r *Region) BoundingBox() bbox.Box {
+	return bbox.JoinAll(r.k, r.boxes...)
+}
+
+// positiveVolume reports whether b has strictly positive volume (nonempty
+// interior).
+func positiveVolume(b bbox.Box) bool {
+	if b.IsEmpty() {
+		return false
+	}
+	for i := 0; i < b.K; i++ {
+		if b.Hi[i] <= b.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subtractBox returns the interior-disjoint decomposition of a \ b as up
+// to 2k boxes (the classical slab split).
+func subtractBox(a, b bbox.Box) []bbox.Box {
+	inter := a.Meet(b)
+	if !positiveVolume(inter) {
+		if positiveVolume(a) {
+			return []bbox.Box{a}
+		}
+		return nil
+	}
+	var out []bbox.Box
+	cur := a
+	for i := 0; i < a.K; i++ {
+		if inter.Lo[i] > cur.Lo[i] {
+			below := cloneBox(cur)
+			below.Hi[i] = inter.Lo[i]
+			if positiveVolume(below) {
+				out = append(out, below)
+			}
+			cur = cloneBox(cur)
+			cur.Lo[i] = inter.Lo[i]
+		}
+		if inter.Hi[i] < cur.Hi[i] {
+			above := cloneBox(cur)
+			above.Lo[i] = inter.Hi[i]
+			if positiveVolume(above) {
+				out = append(out, above)
+			}
+			cur = cloneBox(cur)
+			cur.Hi[i] = inter.Hi[i]
+		}
+	}
+	return out
+}
+
+func cloneBox(b bbox.Box) bbox.Box {
+	return bbox.Box{
+		K:  b.K,
+		Lo: append([]float64(nil), b.Lo...),
+		Hi: append([]float64(nil), b.Hi...),
+	}
+}
+
+// Difference returns r \ s.
+func (r *Region) Difference(s *Region) *Region {
+	r.checkDim(s)
+	cur := r.boxes
+	for _, sb := range s.boxes {
+		var next []bbox.Box
+		for _, rb := range cur {
+			next = append(next, subtractBox(rb, sb)...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	out := &Region{k: r.k, boxes: cur}
+	out.compact()
+	return out
+}
+
+// Union returns r ∪ s.
+func (r *Region) Union(s *Region) *Region {
+	r.checkDim(s)
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	diff := s.Difference(r)
+	out := &Region{k: r.k, boxes: append(append([]bbox.Box(nil), r.boxes...), diff.boxes...)}
+	out.compact()
+	return out
+}
+
+// Intersect returns r ∩ s.
+func (r *Region) Intersect(s *Region) *Region {
+	r.checkDim(s)
+	var out []bbox.Box
+	for _, rb := range r.boxes {
+		for _, sb := range s.boxes {
+			m := rb.Meet(sb)
+			if positiveVolume(m) {
+				out = append(out, m)
+			}
+		}
+	}
+	res := &Region{k: r.k, boxes: out}
+	res.compact()
+	return res
+}
+
+// ComplementIn returns universe \ r.
+func (r *Region) ComplementIn(universe bbox.Box) *Region {
+	return FromBox(universe).Difference(r)
+}
+
+// Equal reports equality up to null sets.
+func (r *Region) Equal(s *Region) bool {
+	return r.Difference(s).IsEmpty() && s.Difference(r).IsEmpty()
+}
+
+// Leq reports r ⊑ s up to null sets.
+func (r *Region) Leq(s *Region) bool { return r.Difference(s).IsEmpty() }
+
+// Overlaps reports that r ∩ s has positive measure.
+func (r *Region) Overlaps(s *Region) bool { return !r.Intersect(s).IsEmpty() }
+
+// ContainsPoint reports whether p lies in (the closure of) the region.
+func (r *Region) ContainsPoint(p []float64) bool {
+	for _, b := range r.boxes {
+		if b.ContainsPoint(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Split returns a proper nonempty subregion of r (half of its first box,
+// cut along the box's longest axis). It panics on the empty region. This
+// witnesses atomlessness: no region is an atom.
+func (r *Region) Split() *Region {
+	if r.IsEmpty() {
+		panic("region: Split of empty region")
+	}
+	b := r.boxes[0]
+	axis, best := 0, math.Inf(-1)
+	for i := 0; i < b.K; i++ {
+		if w := b.Hi[i] - b.Lo[i]; w > best {
+			axis, best = i, w
+		}
+	}
+	half := cloneBox(b)
+	half.Hi[axis] = (b.Lo[axis] + b.Hi[axis]) / 2
+	return FromBox(half)
+}
+
+// compact merges pairs of boxes that tile a larger box (equal in all
+// dimensions but one, adjacent in that one). This keeps decompositions
+// small under repeated complement/union without affecting semantics.
+func (r *Region) compact() {
+	if len(r.boxes) < 2 {
+		return
+	}
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(r.boxes); i++ {
+			for j := i + 1; j < len(r.boxes); j++ {
+				if m, ok := tryMerge(r.boxes[i], r.boxes[j]); ok {
+					r.boxes[i] = m
+					r.boxes = append(r.boxes[:j], r.boxes[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+	}
+	sort.Slice(r.boxes, func(i, j int) bool { return boxLess(r.boxes[i], r.boxes[j]) })
+}
+
+func boxLess(a, b bbox.Box) bool {
+	for i := 0; i < a.K; i++ {
+		if a.Lo[i] != b.Lo[i] {
+			return a.Lo[i] < b.Lo[i]
+		}
+		if a.Hi[i] != b.Hi[i] {
+			return a.Hi[i] < b.Hi[i]
+		}
+	}
+	return false
+}
+
+// tryMerge merges two boxes tiling a larger box.
+func tryMerge(a, b bbox.Box) (bbox.Box, bool) {
+	diff := -1
+	for i := 0; i < a.K; i++ {
+		if a.Lo[i] == b.Lo[i] && a.Hi[i] == b.Hi[i] {
+			continue
+		}
+		if diff >= 0 {
+			return bbox.Box{}, false
+		}
+		diff = i
+	}
+	if diff < 0 {
+		return a, true // identical boxes
+	}
+	if a.Hi[diff] == b.Lo[diff] || b.Hi[diff] == a.Lo[diff] {
+		m := cloneBox(a)
+		m.Lo[diff] = math.Min(a.Lo[diff], b.Lo[diff])
+		m.Hi[diff] = math.Max(a.Hi[diff], b.Hi[diff])
+		return m, true
+	}
+	return bbox.Box{}, false
+}
+
+func (r *Region) checkDim(s *Region) {
+	if r.k != s.k {
+		panic(fmt.Sprintf("region: dimension mismatch %d vs %d", r.k, s.k))
+	}
+}
+
+// String renders the region as its box decomposition.
+func (r *Region) String() string {
+	if r.IsEmpty() {
+		return "∅"
+	}
+	parts := make([]string, len(r.boxes))
+	for i, b := range r.boxes {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}

@@ -1,0 +1,131 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bbox"
+)
+
+// BulkLoad builds an R-tree from a static entry set with Sort-Tile-
+// Recursive (STR) packing: entries are sorted by the first center
+// coordinate, cut into vertical slabs of ~√(n/M) leaves each, each slab
+// sorted by the next coordinate, and so on, producing fully packed leaves
+// with low overlap. Upper levels are packed the same way over the leaf
+// MBRs. Loading n entries is O(n log n) and yields markedly cheaper
+// queries than one-at-a-time insertion (experiment E13); the tree remains
+// fully dynamic afterwards.
+func BulkLoad(k int, entries []Entry, opts ...Option) (*Tree, error) {
+	t := New(k, opts...)
+	for _, e := range entries {
+		if e.Box.IsEmpty() {
+			return nil, fmt.Errorf("rtree: cannot bulk-load an empty box")
+		}
+		if e.Box.K != k {
+			return nil, fmt.Errorf("rtree: box dimension %d, tree dimension %d", e.Box.K, k)
+		}
+	}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	// Build leaves.
+	leafEntries := append([]Entry(nil), entries...)
+	leaves := packLeaves(t, leafEntries)
+	// Pack upward until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(t, level)
+	}
+	t.root = level[0]
+	t.size = len(entries)
+	return t, nil
+}
+
+// packLeaves tiles the entries into fully packed leaf nodes.
+func packLeaves(t *Tree, entries []Entry) []*node {
+	boxes := make([]bbox.Box, len(entries))
+	for i, e := range entries {
+		boxes[i] = e.Box
+	}
+	groups := strTile(boxes, t.max, t.k, 0)
+	leaves := make([]*node, 0, len(groups))
+	for _, g := range groups {
+		n := &node{leaf: true}
+		for _, i := range g {
+			n.entries = append(n.entries, entries[i])
+		}
+		n.recomputeBox(t.k)
+		leaves = append(leaves, n)
+	}
+	return leaves
+}
+
+// packNodes tiles child nodes into parent nodes.
+func packNodes(t *Tree, children []*node) []*node {
+	boxes := make([]bbox.Box, len(children))
+	for i, c := range children {
+		boxes[i] = c.box
+	}
+	groups := strTile(boxes, t.max, t.k, 0)
+	parents := make([]*node, 0, len(groups))
+	for _, g := range groups {
+		n := &node{}
+		for _, i := range g {
+			n.children = append(n.children, children[i])
+		}
+		n.recomputeBox(t.k)
+		parents = append(parents, n)
+	}
+	return parents
+}
+
+// strTile recursively partitions indices into groups of ≤ cap by sorting
+// on successive center coordinates and slicing into slabs.
+func strTile(boxes []bbox.Box, cap, k, dim int) [][]int {
+	n := len(boxes)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var rec func(ids []int, dim int) [][]int
+	rec = func(ids []int, dim int) [][]int {
+		if len(ids) <= cap {
+			return [][]int{ids}
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			ca := boxes[ids[a]].Center()[dim]
+			cb := boxes[ids[b]].Center()[dim]
+			if ca != cb {
+				return ca < cb
+			}
+			return ids[a] < ids[b]
+		})
+		numLeaves := int(math.Ceil(float64(len(ids)) / float64(cap)))
+		if dim == k-1 {
+			// Last dimension: slice straight into leaves.
+			out := make([][]int, 0, numLeaves)
+			for i := 0; i < len(ids); i += cap {
+				end := i + cap
+				if end > len(ids) {
+					end = len(ids)
+				}
+				out = append(out, append([]int(nil), ids[i:end]...))
+			}
+			return out
+		}
+		// Slabs of ~√numLeaves leaves each.
+		slabLeaves := int(math.Ceil(math.Sqrt(float64(numLeaves))))
+		slabSize := slabLeaves * cap
+		var out [][]int
+		for i := 0; i < len(ids); i += slabSize {
+			end := i + slabSize
+			if end > len(ids) {
+				end = len(ids)
+			}
+			out = append(out, rec(append([]int(nil), ids[i:end]...), dim+1)...)
+		}
+		return out
+	}
+	return rec(idx, dim)
+}

@@ -1,0 +1,535 @@
+// Package rtree implements Guttman's R-tree [SIGMOD 1984], the dynamic
+// spatial index the paper cites as a canonical provider of range queries
+// over bounding boxes (§1, reference [6]).
+//
+// The tree stores (box, id) entries and answers the range-query primitives
+// the compiled plans need: overlap search, containment search, and the
+// combined RangeSpec search with subtree pruning. Insertion uses Guttman's
+// least-enlargement descent; node splitting offers the quadratic (default)
+// and linear algorithms from the original paper. Deletion condenses the
+// tree and reinserts orphaned entries.
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/bbox"
+)
+
+// SplitStrategy selects a node-splitting algorithm.
+type SplitStrategy int
+
+// Split strategies from Guttman's paper.
+const (
+	QuadraticSplit SplitStrategy = iota
+	LinearSplit
+)
+
+// Entry is a stored (bounding box, identifier) pair.
+type Entry struct {
+	Box bbox.Box
+	ID  int64
+}
+
+type node struct {
+	leaf     bool
+	box      bbox.Box // MBR of contents
+	entries  []Entry  // leaf payload
+	children []*node  // internal children
+}
+
+func (n *node) recomputeBox(k int) {
+	n.box = bbox.Empty(k)
+	if n.leaf {
+		for _, e := range n.entries {
+			n.box = n.box.Join(e.Box)
+		}
+		return
+	}
+	for _, c := range n.children {
+		n.box = n.box.Join(c.box)
+	}
+}
+
+// Tree is an R-tree over k-dimensional boxes. The zero value is unusable;
+// call New.
+type Tree struct {
+	k        int
+	min, max int
+	split    SplitStrategy
+	root     *node
+	size     int
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithBranching sets the minimum and maximum node fanout (Guttman's m and
+// M); defaults are 2 and 8.
+func WithBranching(min, max int) Option {
+	return func(t *Tree) { t.min, t.max = min, max }
+}
+
+// WithSplit selects the split algorithm.
+func WithSplit(s SplitStrategy) Option {
+	return func(t *Tree) { t.split = s }
+}
+
+// New returns an empty R-tree over k-dimensional boxes.
+func New(k int, opts ...Option) *Tree {
+	t := &Tree{k: k, min: 2, max: 8, split: QuadraticSplit}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.min < 1 || t.max < 2*t.min {
+		panic(fmt.Sprintf("rtree: invalid branching m=%d M=%d (need M ≥ 2m)", t.min, t.max))
+	}
+	t.root = &node{leaf: true, box: bbox.Empty(k)}
+	return t
+}
+
+// K returns the dimensionality.
+func (t *Tree) K() int { return t.k }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int {
+	h, n := 1, t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}
+
+// Insert adds an entry. Empty boxes are rejected: they match no range
+// query and would poison MBRs.
+func (t *Tree) Insert(box bbox.Box, id int64) error {
+	if box.IsEmpty() {
+		return fmt.Errorf("rtree: cannot index an empty box")
+	}
+	if box.K != t.k {
+		return fmt.Errorf("rtree: box dimension %d, tree dimension %d", box.K, t.k)
+	}
+	path := t.chooseLeafPath(box)
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries, Entry{Box: box, ID: id})
+	for _, n := range path {
+		n.box = n.box.Join(box)
+	}
+	t.size++
+	t.propagateSplits(path)
+	return nil
+}
+
+// chooseLeafPath descends by least enlargement (ties by smaller volume)
+// and returns the root-to-leaf path.
+func (t *Tree) chooseLeafPath(box bbox.Box) []*node {
+	path := []*node{t.root}
+	n := t.root
+	for !n.leaf {
+		var best *node
+		bestEnl, bestVol := 0.0, 0.0
+		for _, c := range n.children {
+			enl := c.box.Enlarge(box)
+			vol := c.box.Volume()
+			if best == nil || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+				best, bestEnl, bestVol = c, enl, vol
+			}
+		}
+		n = best
+		path = append(path, n)
+	}
+	return path
+}
+
+// propagateSplits splits overflowing nodes from the leaf upward along the
+// recorded path, growing the root if needed.
+func (t *Tree) propagateSplits(path []*node) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		over := (n.leaf && len(n.entries) > t.max) ||
+			(!n.leaf && len(n.children) > t.max)
+		if !over {
+			return
+		}
+		a, b := t.splitNode(n)
+		if i == 0 {
+			t.root = &node{box: a.box.Join(b.box), children: []*node{a, b}}
+			return
+		}
+		parent := path[i-1]
+		for j, c := range parent.children {
+			if c == n {
+				parent.children[j] = a
+				break
+			}
+		}
+		parent.children = append(parent.children, b)
+		parent.recomputeBox(t.k)
+	}
+}
+
+// Delete removes one entry with the given box and id, returning whether it
+// was found. Underfull nodes are condensed: their surviving entries are
+// reinserted, per Guttman's CondenseTree.
+func (t *Tree) Delete(box bbox.Box, id int64) bool {
+	var orphans []Entry
+	removed := t.deleteRec(t.root, box, id, &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+	// Shrink a root with a single internal child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	for _, e := range orphans {
+		t.size-- // Insert will re-add
+		if err := t.Insert(e.Box, e.ID); err != nil {
+			panic(err) // orphans came from the tree; cannot be invalid
+		}
+	}
+	return true
+}
+
+func (t *Tree) deleteRec(n *node, box bbox.Box, id int64, orphans *[]Entry) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.ID == id && e.Box.Equal(box) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				n.recomputeBox(t.k)
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.children {
+		if !c.box.Contains(box) {
+			continue
+		}
+		if t.deleteRec(c, box, id, orphans) {
+			underfull := (c.leaf && len(c.entries) < t.min) ||
+				(!c.leaf && len(c.children) < t.min)
+			if underfull {
+				collectEntries(c, orphans)
+				n.children = append(n.children[:i], n.children[i+1:]...)
+			}
+			n.recomputeBox(t.k)
+			return true
+		}
+	}
+	return false
+}
+
+func collectEntries(n *node, out *[]Entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, c := range n.children {
+		collectEntries(c, out)
+	}
+}
+
+// SearchOverlap visits every entry whose box overlaps q. The visitor
+// returns false to stop early. It reports the number of tree nodes
+// touched (the index-cost metric used by the experiments).
+func (t *Tree) SearchOverlap(q bbox.Box, visit func(Entry) bool) int {
+	touched := 0
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		touched++
+		if !n.box.Overlaps(q) {
+			return true
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if e.Box.Overlaps(q) {
+					if !visit(e) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root)
+	return touched
+}
+
+// SearchContained visits every entry whose box is contained in q.
+func (t *Tree) SearchContained(q bbox.Box, visit func(Entry) bool) int {
+	touched := 0
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		touched++
+		if !n.box.Overlaps(q) {
+			return true
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if q.Contains(e.Box) {
+					if !visit(e) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root)
+	return touched
+}
+
+// SearchSpec visits every entry whose box satisfies the combined range
+// spec (containment + overlap constraints), pruning subtrees by three
+// sound MBR tests:
+//
+//   - an entry must contain spec.Lower, so its subtree MBR must too;
+//   - an entry must lie inside spec.Upper, so its subtree MBR must
+//     overlap spec.Upper;
+//   - an entry must overlap each witness c, so its subtree MBR must too.
+func (t *Tree) SearchSpec(spec bbox.RangeSpec, visit func(Entry) bool) int {
+	touched := 0
+	if spec.Unsatisfiable() {
+		return 0
+	}
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		touched++
+		if !n.box.Contains(spec.Lower) {
+			return true
+		}
+		if !spec.Upper.IsEmpty() && !n.box.Overlaps(spec.Upper) {
+			return true
+		}
+		for _, c := range spec.Overlaps {
+			if !n.box.Overlaps(c) {
+				return true
+			}
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if spec.Matches(e.Box) {
+					if !visit(e) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root)
+	return touched
+}
+
+// All visits every entry.
+func (t *Tree) All(visit func(Entry) bool) {
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n.leaf {
+			for _, e := range n.entries {
+				if !visit(e) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root)
+}
+
+// checkInvariants verifies structural invariants; used by tests.
+func (t *Tree) checkInvariants() error {
+	var rec func(n *node, depth int) (int, error)
+	rec = func(n *node, depth int) (int, error) {
+		if n.leaf {
+			for _, e := range n.entries {
+				if !n.box.Contains(e.Box) {
+					return 0, fmt.Errorf("leaf MBR %v misses entry %v", n.box, e.Box)
+				}
+			}
+			return depth, nil
+		}
+		if len(n.children) == 0 {
+			return 0, fmt.Errorf("internal node with no children")
+		}
+		first := -1
+		for _, c := range n.children {
+			if !n.box.Contains(c.box) {
+				return 0, fmt.Errorf("node MBR %v misses child %v", n.box, c.box)
+			}
+			d, err := rec(c, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if first < 0 {
+				first = d
+			} else if d != first {
+				return 0, fmt.Errorf("leaves at different depths: %d vs %d", first, d)
+			}
+		}
+		return first, nil
+	}
+	_, err := rec(t.root, 0)
+	return err
+}
+
+// splitNode divides an overflowing node into two per the configured
+// strategy.
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	if n.leaf {
+		ga, gb := t.splitGroups(len(n.entries),
+			func(i int) bbox.Box { return n.entries[i].Box })
+		a := &node{leaf: true}
+		b := &node{leaf: true}
+		for _, i := range ga {
+			a.entries = append(a.entries, n.entries[i])
+		}
+		for _, i := range gb {
+			b.entries = append(b.entries, n.entries[i])
+		}
+		a.recomputeBox(t.k)
+		b.recomputeBox(t.k)
+		return a, b
+	}
+	ga, gb := t.splitGroups(len(n.children),
+		func(i int) bbox.Box { return n.children[i].box })
+	a := &node{}
+	b := &node{}
+	for _, i := range ga {
+		a.children = append(a.children, n.children[i])
+	}
+	for _, i := range gb {
+		b.children = append(b.children, n.children[i])
+	}
+	a.recomputeBox(t.k)
+	b.recomputeBox(t.k)
+	return a, b
+}
+
+// splitGroups partitions indices 0..n-1 into two groups using the chosen
+// strategy, respecting the minimum fill.
+func (t *Tree) splitGroups(n int, boxOf func(int) bbox.Box) ([]int, []int) {
+	var seedA, seedB int
+	if t.split == QuadraticSplit {
+		seedA, seedB = quadraticSeeds(n, boxOf)
+	} else {
+		seedA, seedB = linearSeeds(n, boxOf)
+	}
+	ga, gb := []int{seedA}, []int{seedB}
+	boxA, boxB := boxOf(seedA), boxOf(seedB)
+	for i := 0; i < n; i++ {
+		if i == seedA || i == seedB {
+			continue
+		}
+		assigned := len(ga) + len(gb)
+		remaining := n - assigned - 1 // not counting i
+		switch {
+		case len(ga)+remaining+1 <= t.min:
+			// Everything left must go to group A to reach minimum fill.
+			ga = append(ga, i)
+			boxA = boxA.Join(boxOf(i))
+			continue
+		case len(gb)+remaining+1 <= t.min:
+			gb = append(gb, i)
+			boxB = boxB.Join(boxOf(i))
+			continue
+		}
+		dA := boxA.Enlarge(boxOf(i))
+		dB := boxB.Enlarge(boxOf(i))
+		if dA < dB || (dA == dB && boxA.Volume() <= boxB.Volume()) {
+			ga = append(ga, i)
+			boxA = boxA.Join(boxOf(i))
+		} else {
+			gb = append(gb, i)
+			boxB = boxB.Join(boxOf(i))
+		}
+	}
+	return ga, gb
+}
+
+// quadraticSeeds picks the pair wasting the most volume together
+// (Guttman's quadratic PickSeeds).
+func quadraticSeeds(n int, boxOf func(int) bbox.Box) (int, int) {
+	sa, sb, worst := 0, 1, 0.0
+	first := true
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			bi, bj := boxOf(i), boxOf(j)
+			waste := bi.Join(bj).Volume() - bi.Volume() - bj.Volume()
+			if first || waste > worst {
+				sa, sb, worst = i, j, waste
+				first = false
+			}
+		}
+	}
+	return sa, sb
+}
+
+// linearSeeds picks the pair with greatest normalized separation along any
+// dimension (Guttman's linear PickSeeds).
+func linearSeeds(n int, boxOf func(int) bbox.Box) (int, int) {
+	k := boxOf(0).K
+	bestSep := 0.0
+	bestLo, bestHi := -1, -1
+	for d := 0; d < k; d++ {
+		hiLo, loHi := 0, 0
+		minLo, maxHi := boxOf(0).Lo[d], boxOf(0).Hi[d]
+		for i := 1; i < n; i++ {
+			b := boxOf(i)
+			if b.Lo[d] > boxOf(hiLo).Lo[d] {
+				hiLo = i
+			}
+			if b.Hi[d] < boxOf(loHi).Hi[d] {
+				loHi = i
+			}
+			if b.Lo[d] < minLo {
+				minLo = b.Lo[d]
+			}
+			if b.Hi[d] > maxHi {
+				maxHi = b.Hi[d]
+			}
+		}
+		width := maxHi - minLo
+		if width <= 0 {
+			width = 1
+		}
+		sep := (boxOf(hiLo).Lo[d] - boxOf(loHi).Hi[d]) / width
+		if hiLo != loHi && (bestLo < 0 || sep > bestSep) {
+			bestSep = sep
+			bestLo, bestHi = hiLo, loHi
+		}
+	}
+	if bestLo < 0 || bestLo == bestHi {
+		return 0, 1
+	}
+	return bestLo, bestHi
+}

@@ -1,0 +1,111 @@
+package spatialdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+)
+
+// The on-disk snapshot format: a versioned JSON document with the universe
+// and every layer's objects as disjoint box lists. Indexes are rebuilt on
+// load (they are derived state), so snapshots are portable across index
+// backends.
+
+type snapshot struct {
+	Version  int         `json:"version"`
+	Universe snapBox     `json:"universe"`
+	Layers   []snapLayer `json:"layers"`
+}
+
+type snapLayer struct {
+	Name    string       `json:"name"`
+	Objects []snapObject `json:"objects"`
+}
+
+type snapObject struct {
+	Name  string    `json:"name,omitempty"`
+	Boxes []snapBox `json:"boxes"`
+}
+
+type snapBox struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+const snapshotVersion = 1
+
+// Save writes the store's contents as JSON. Object ids are not preserved
+// (they are assigned afresh on load); insertion order and names are.
+func (s *Store) Save(w io.Writer) error {
+	snap := snapshot{
+		Version:  snapshotVersion,
+		Universe: toSnapBox(s.universe),
+	}
+	for _, name := range s.names {
+		layer := s.layers[name]
+		sl := snapLayer{Name: name}
+		for _, o := range layer.Objects() {
+			so := snapObject{Name: o.Name}
+			for _, b := range o.Reg.Boxes() {
+				so.Boxes = append(so.Boxes, toSnapBox(b))
+			}
+			sl.Objects = append(sl.Objects, so)
+		}
+		snap.Layers = append(snap.Layers, sl)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load reads a snapshot written by Save into a fresh store with the given
+// index backend.
+func Load(r io.Reader, kind IndexKind) (*Store, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("spatialdb: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("spatialdb: unsupported snapshot version %d", snap.Version)
+	}
+	universe, err := fromSnapBox(snap.Universe)
+	if err != nil {
+		return nil, fmt.Errorf("spatialdb: universe: %w", err)
+	}
+	if universe.IsEmpty() {
+		return nil, fmt.Errorf("spatialdb: snapshot has an empty universe")
+	}
+	store := NewStore(universe, kind)
+	for _, sl := range snap.Layers {
+		store.Layer(sl.Name) // create even if empty
+		for _, so := range sl.Objects {
+			boxes := make([]bbox.Box, 0, len(so.Boxes))
+			for _, sb := range so.Boxes {
+				b, err := fromSnapBox(sb)
+				if err != nil {
+					return nil, fmt.Errorf("spatialdb: layer %q object %q: %w", sl.Name, so.Name, err)
+				}
+				boxes = append(boxes, b)
+			}
+			reg := region.FromBoxes(universe.K, boxes...)
+			if _, err := store.Insert(sl.Name, so.Name, reg); err != nil {
+				return nil, fmt.Errorf("spatialdb: layer %q object %q: %w", sl.Name, so.Name, err)
+			}
+		}
+	}
+	return store, nil
+}
+
+func toSnapBox(b bbox.Box) snapBox {
+	return snapBox{
+		Lo: append([]float64(nil), b.Lo...),
+		Hi: append([]float64(nil), b.Hi...),
+	}
+}
+
+func fromSnapBox(sb snapBox) (bbox.Box, error) {
+	return bbox.Make(sb.Lo, sb.Hi)
+}

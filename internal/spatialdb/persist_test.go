@@ -1,0 +1,98 @@
+package spatialdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := NewStore(rect(0, 0, 100, 100), Scan)
+	src.MustInsert("towns", "a", region.FromBox(rect(1, 1, 3, 3)))
+	src.MustInsert("towns", "b", region.FromBoxes(2, rect(10, 10, 12, 12), rect(14, 10, 16, 12)))
+	src.MustInsert("roads", "r1", region.FromBox(rect(0, 50, 80, 52)))
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Load with a DIFFERENT backend: the snapshot is index-agnostic.
+	dst, err := Load(bytes.NewReader(buf.Bytes()), RTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Universe().Equal(src.Universe()) {
+		t.Errorf("universe changed: %v", dst.Universe())
+	}
+	names := dst.LayerNames()
+	if len(names) != 2 || names[0] != "towns" || names[1] != "roads" {
+		t.Fatalf("LayerNames = %v", names)
+	}
+	srcObjs := src.Layer("towns").Objects()
+	dstObjs := dst.Layer("towns").Objects()
+	if len(srcObjs) != len(dstObjs) {
+		t.Fatalf("towns: %d vs %d objects", len(srcObjs), len(dstObjs))
+	}
+	for i := range srcObjs {
+		if srcObjs[i].Name != dstObjs[i].Name {
+			t.Errorf("object %d name %q vs %q", i, srcObjs[i].Name, dstObjs[i].Name)
+		}
+		if !srcObjs[i].Reg.Equal(dstObjs[i].Reg) {
+			t.Errorf("object %q region changed", srcObjs[i].Name)
+		}
+	}
+	// The rebuilt index answers queries identically.
+	spec := bbox.RangeSpec{K: 2, Lower: bbox.Empty(2), Upper: rect(0, 0, 20, 20)}
+	count := func(s *Store) int {
+		n := 0
+		s.Layer("towns").Search(spec, func(Object) bool {
+			n++
+			return true
+		})
+		return n
+	}
+	if count(src) != count(dst) {
+		t.Errorf("query results differ after reload: %d vs %d", count(src), count(dst))
+	}
+}
+
+func TestSaveLoadEmptyStore(t *testing.T) {
+	src := NewStore(rect(0, 0, 10, 10), Grid)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Load(&buf, Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.LayerNames()) != 0 {
+		t.Errorf("empty store reloaded with layers %v", dst.LayerNames())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json"), Scan); err == nil {
+		t.Errorf("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`), Scan); err == nil {
+		t.Errorf("wrong version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"universe":{"lo":[1],"hi":[0]}}`), Scan); err == nil {
+		t.Errorf("inverted universe accepted")
+	}
+	if _, err := Load(strings.NewReader(
+		`{"version":1,"universe":{"lo":[0,0],"hi":[9,9]},`+
+			`"layers":[{"name":"l","objects":[{"name":"bad","boxes":[{"lo":[5],"hi":[1,2]}]}]}]}`), Scan); err == nil {
+		t.Errorf("malformed object box accepted")
+	}
+	// Empty region (degenerate box) must be rejected by Insert.
+	if _, err := Load(strings.NewReader(
+		`{"version":1,"universe":{"lo":[0,0],"hi":[9,9]},`+
+			`"layers":[{"name":"l","objects":[{"name":"flat","boxes":[{"lo":[1,1],"hi":[1,5]}]}]}]}`), Scan); err == nil {
+		t.Errorf("degenerate-region object accepted")
+	}
+}

@@ -1,0 +1,372 @@
+// Package spatialdb provides the spatial database layer the compiled query
+// plans run against: named layers of region-valued objects, answering the
+// univariate range queries of §1/§4
+//
+//	x ∈ [a,b]   and   x ⊓ c ≠ ∅
+//
+// over the objects' bounding boxes, through a pluggable index. Five
+// backends are provided, substantiating the paper's claim that the
+// optimization "does not require a special purpose data structure":
+//
+//   - Scan: linear scan with direct RangeSpec filtering (the baseline);
+//   - RTree: Guttman R-tree over the k-dim boxes with subtree pruning;
+//   - PointRTree: R-tree over the 2k-dim point transform of each box,
+//     answering every compiled spec with ONE range query (Figure 3);
+//   - Grid: grid file over the 2k-dim points, same single-query property;
+//   - ZOrderIdx: z-element decomposition in one sorted list — the
+//     z-ordering extension the paper's conclusion sketches.
+//
+// All backends return exactly the objects whose bounding box matches the
+// spec; they differ only in cost, which Stats exposes to the experiments.
+package spatialdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bbox"
+	"repro/internal/gridfile"
+	"repro/internal/region"
+	"repro/internal/rtree"
+	"repro/internal/zorder"
+)
+
+// IndexKind selects a layer's index backend.
+type IndexKind int
+
+// Available index backends.
+const (
+	Scan IndexKind = iota
+	RTree
+	PointRTree
+	Grid
+	// ZOrderIdx indexes boxes by their z-element decomposition — the
+	// extension the paper's conclusion sketches ("it seems possible to
+	// extend our approach to make use of z-ordering methods"). Stored
+	// boxes must lie inside the store universe.
+	ZOrderIdx
+)
+
+// String returns the backend name.
+func (k IndexKind) String() string {
+	switch k {
+	case Scan:
+		return "scan"
+	case RTree:
+		return "rtree"
+	case PointRTree:
+		return "point-rtree"
+	case Grid:
+		return "gridfile"
+	case ZOrderIdx:
+		return "zorder"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// Object is a stored spatial object: a region plus its cached bounding
+// box.
+type Object struct {
+	ID   int64
+	Name string
+	Reg  *region.Region
+	Box  bbox.Box
+}
+
+// Stats accumulates index cost counters for one layer.
+type Stats struct {
+	Queries  int // range queries executed
+	Touched  int // index nodes/cells touched
+	Scanned  int // candidate objects examined by the index
+	Returned int // objects actually matching the spec
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.Queries += s2.Queries
+	s.Touched += s2.Touched
+	s.Scanned += s2.Scanned
+	s.Returned += s2.Returned
+}
+
+// Layer is a named collection of objects with an index.
+type Layer struct {
+	name  string
+	kind  IndexKind
+	k     int
+	objs  map[int64]Object
+	order []int64 // insertion order, for deterministic scans
+	rt    *rtree.Tree
+	grid  *gridfile.Grid
+	zx    *zorder.Index
+
+	mu    sync.Mutex // guards stats: Search may run concurrently
+	stats Stats
+}
+
+func newLayer(name string, k int, kind IndexKind, universe bbox.Box) *Layer {
+	l := &Layer{name: name, kind: kind, k: k, objs: map[int64]Object{}}
+	switch kind {
+	case RTree:
+		l.rt = rtree.New(k)
+	case PointRTree:
+		l.rt = rtree.New(2 * k)
+	case Grid:
+		l.grid = gridfile.New(2*k, 16)
+	case ZOrderIdx:
+		l.zx = zorder.NewIndex(universe, 16)
+	}
+	return l
+}
+
+// Name returns the layer name.
+func (l *Layer) Name() string { return l.name }
+
+// Kind returns the index backend.
+func (l *Layer) Kind() IndexKind { return l.kind }
+
+// Len returns the number of stored objects.
+func (l *Layer) Len() int { return len(l.objs) }
+
+// Stats returns the accumulated cost counters.
+func (l *Layer) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// ResetStats clears the counters.
+func (l *Layer) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats = Stats{}
+}
+
+// insert adds an object (id already assigned by the store).
+func (l *Layer) insert(o Object) error {
+	if o.Reg.IsEmpty() {
+		return fmt.Errorf("spatialdb: object %q has an empty region", o.Name)
+	}
+	l.objs[o.ID] = o
+	l.order = append(l.order, o.ID)
+	switch l.kind {
+	case RTree:
+		return l.rt.Insert(o.Box, o.ID)
+	case PointRTree:
+		p := bbox.PointTransform(o.Box)
+		return l.rt.Insert(bbox.New(p, p), o.ID)
+	case Grid:
+		return l.grid.Insert(bbox.PointTransform(o.Box), o.ID)
+	case ZOrderIdx:
+		return l.zx.Insert(o.Box, o.ID)
+	}
+	return nil
+}
+
+// Get returns an object by id.
+func (l *Layer) Get(id int64) (Object, bool) {
+	o, ok := l.objs[id]
+	return o, ok
+}
+
+// All visits all objects in insertion order.
+func (l *Layer) All(visit func(Object) bool) {
+	for _, id := range l.order {
+		if !visit(l.objs[id]) {
+			return
+		}
+	}
+}
+
+// Objects returns all objects in insertion order.
+func (l *Layer) Objects() []Object {
+	out := make([]Object, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, l.objs[id])
+	}
+	return out
+}
+
+// Search visits every object whose bounding box matches the spec, in
+// ascending id order, updating the layer's cost counters. Search is safe
+// for concurrent use (the parallel executor issues range queries from
+// several goroutines).
+func (l *Layer) Search(spec bbox.RangeSpec, visit func(Object) bool) {
+	var ids []int64
+	scanned, touched := 0, 0
+	switch l.kind {
+	case Scan:
+		for _, id := range l.order {
+			scanned++
+			if spec.Matches(l.objs[id].Box) {
+				ids = append(ids, id)
+			}
+		}
+		touched = len(l.order)
+	case RTree:
+		touched = l.rt.SearchSpec(spec, func(e rtree.Entry) bool {
+			scanned++
+			ids = append(ids, e.ID)
+			return true
+		})
+	case PointRTree:
+		q, ok := spec.PointQuery()
+		if !ok {
+			l.addStats(Stats{Queries: 1})
+			return
+		}
+		touched = l.rt.SearchOverlap(q, func(e rtree.Entry) bool {
+			scanned++
+			ids = append(ids, e.ID)
+			return true
+		})
+	case Grid:
+		q, ok := spec.PointQuery()
+		if !ok {
+			l.addStats(Stats{Queries: 1})
+			return
+		}
+		touched = l.grid.Search(q, func(_ []float64, id int64) bool {
+			scanned++
+			ids = append(ids, id)
+			return true
+		})
+	case ZOrderIdx:
+		if spec.Unsatisfiable() {
+			l.addStats(Stats{Queries: 1})
+			return
+		}
+		touched = l.zx.SearchOverlap(zorderFilter(spec), func(id int64) bool {
+			scanned++
+			ids = append(ids, id)
+			return true
+		})
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Defense in depth: every backend must return exact matches; the
+	// filter also protects against floating-point edge cases in the point
+	// transform.
+	matched := ids[:0]
+	for _, id := range ids {
+		if spec.Matches(l.objs[id].Box) {
+			matched = append(matched, id)
+		}
+	}
+	l.addStats(Stats{Queries: 1, Touched: touched, Scanned: scanned, Returned: len(matched)})
+	for _, id := range matched {
+		if !visit(l.objs[id]) {
+			return
+		}
+	}
+}
+
+func (l *Layer) addStats(s Stats) {
+	l.mu.Lock()
+	l.stats.Add(s)
+	l.mu.Unlock()
+}
+
+// Store is a collection of layers over a shared universe.
+type Store struct {
+	universe bbox.Box
+	kind     IndexKind
+	layers   map[string]*Layer
+	names    []string
+	nextID   int64
+}
+
+// NewStore returns an empty store; layers created through it use the given
+// index backend.
+func NewStore(universe bbox.Box, kind IndexKind) *Store {
+	if universe.IsEmpty() {
+		panic("spatialdb: empty universe")
+	}
+	return &Store{universe: universe, kind: kind, layers: map[string]*Layer{}}
+}
+
+// Universe returns the store's universe box.
+func (s *Store) Universe() bbox.Box { return s.universe }
+
+// K returns the dimensionality.
+func (s *Store) K() int { return s.universe.K }
+
+// Layer returns (creating if needed) the named layer.
+func (s *Store) Layer(name string) *Layer {
+	if l, ok := s.layers[name]; ok {
+		return l
+	}
+	l := newLayer(name, s.universe.K, s.kind, s.universe)
+	s.layers[name] = l
+	s.names = append(s.names, name)
+	return l
+}
+
+// HasLayer reports whether the named layer exists.
+func (s *Store) HasLayer(name string) bool {
+	_, ok := s.layers[name]
+	return ok
+}
+
+// LayerNames returns layer names in creation order.
+func (s *Store) LayerNames() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Insert adds a named region to a layer and returns its object.
+func (s *Store) Insert(layer, name string, r *region.Region) (Object, error) {
+	s.nextID++
+	o := Object{ID: s.nextID, Name: name, Reg: r, Box: r.BoundingBox()}
+	if err := s.Layer(layer).insert(o); err != nil {
+		return Object{}, err
+	}
+	return o, nil
+}
+
+// MustInsert is Insert that panics on error; for tests and generators
+// whose regions are nonempty by construction.
+func (s *Store) MustInsert(layer, name string, r *region.Region) Object {
+	o, err := s.Insert(layer, name, r)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// TotalStats sums the counters over all layers.
+func (s *Store) TotalStats() Stats {
+	var t Stats
+	for _, name := range s.names {
+		t.Add(s.layers[name].Stats())
+	}
+	return t
+}
+
+// ResetStats clears all layers' counters.
+func (s *Store) ResetStats() {
+	for _, name := range s.names {
+		s.layers[name].ResetStats()
+	}
+}
+
+// zorderFilter picks the single overlap filter a z-order search can use:
+// every box matching the spec must overlap it. Preference order: the
+// required lower bound (a match contains it, hence overlaps it), then the
+// most selective witness meet the upper bound (a match inside Upper
+// overlapping w also overlaps w ⊓ Upper), then the upper bound itself.
+func zorderFilter(spec bbox.RangeSpec) bbox.Box {
+	if !spec.Lower.IsEmpty() {
+		return spec.Lower
+	}
+	if len(spec.Overlaps) > 0 {
+		best := spec.Overlaps[0]
+		for _, w := range spec.Overlaps[1:] {
+			if w.Volume() < best.Volume() {
+				best = w
+			}
+		}
+		return best.Meet(spec.Upper)
+	}
+	return spec.Upper
+}

@@ -1,0 +1,260 @@
+// Package triangular implements the paper's central optimization,
+// Algorithm 1: transforming a normalized system of Boolean constraints into
+// *triangular solved form*
+//
+//	C₁(x₁)
+//	C₂(x₁,x₂)
+//	…
+//	Cₙ(x₁,…,xₙ)
+//
+// where each Cᵢ is the strongest necessary condition on a prefix
+// x₁,…,xᵢ of the retrieval order, in solved form
+//
+//	s(x₁,…,xᵢ₋₁) ⊑ xᵢ ⊑ t(x₁,…,xᵢ₋₁)   ∧   ⋀ⱼ (xᵢ∧pⱼ ∨ ¬xᵢ∧qⱼ ≠ 0).
+//
+// The range constraint comes from Schröder's theorem
+// (f = 0 ⇔ f[x↦0] ⊑ x ⊑ ¬f[x↦1], Theorem 9) and the disequations from
+// Boole's expansion (Theorem 10). Variables are eliminated from the back of
+// the retrieval order with the projection operator Proj, the best
+// unquantified approximation to ∃x.S (Theorems 4–8):
+//
+//	∃x (f = 0 ∧ ⋀ᵢ gᵢ ≠ 0)   ⇝   f₁∧f₀ = 0  ∧  ⋀ᵢ (¬f₁∧gᵢ₁ ∨ ¬f₀∧gᵢ₀) ≠ 0
+//
+// with h₁ = h[x↦1], h₀ = h[x↦0]. The approximation is exact for a single
+// disequation in every Boolean algebra (Theorem 4) and exact for any number
+// of disequations in atomless algebras — in particular the measurable
+// regions of R^k (Theorems 5–6).
+package triangular
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bcf"
+	"repro/internal/boolalg"
+	"repro/internal/constraint"
+	"repro/internal/formula"
+)
+
+// Diseq is one solved disequation  x∧P ∨ ¬x∧Q ≠ 0  on the step's variable.
+type Diseq struct {
+	P, Q *formula.Formula // over parameters and earlier variables
+}
+
+// Step is the solved constraint Cᵢ for one retrieval variable.
+type Step struct {
+	Var    int              // the variable xᵢ this step retrieves
+	Lower  *formula.Formula // s = f[x↦0]:  s ⊑ x
+	Upper  *formula.Formula // t = ¬f[x↦1]: x ⊑ t
+	Diseqs []Diseq          // disequations mentioning x, in solved form
+}
+
+// Form is the triangular solved form of a system.
+type Form struct {
+	Order  []int             // retrieval order; Steps[i] constrains Order[i]
+	Steps  []Step            // Steps[i] mentions only params and Order[:i]
+	Ground constraint.Normal // residual constraints over parameters only
+	// Unsat is set when projection produced a statically unsatisfiable
+	// residual (sound: the original system then has no solutions).
+	Unsat bool
+}
+
+// Compile runs Algorithm 1 on the normal form n with the given retrieval
+// order (variable indices; all other variables are treated as parameters).
+// Formulas are re-normalized through their Blake canonical form at each
+// level to keep growth in check; this preserves the denoted function
+// exactly. The error is non-nil only if an intermediate normal form
+// explodes past formula.MaxDNFTerms.
+func Compile(n constraint.Normal, order []int) (*Form, error) {
+	form := &Form{Order: append([]int(nil), order...), Steps: make([]Step, len(order))}
+	f := n.F
+	gs := append([]*formula.Formula(nil), n.G...)
+
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		f1, f0 := formula.Expansion(f, v)
+		f1, err := simplify(f1)
+		if err != nil {
+			return nil, err
+		}
+		f0, err = simplify(f0)
+		if err != nil {
+			return nil, err
+		}
+		step := Step{Var: v, Lower: f0, Upper: formula.Not(f1)}
+
+		var rest []*formula.Formula
+		for _, g := range gs {
+			if !g.Uses(v) {
+				rest = append(rest, g)
+				continue
+			}
+			g1, g0 := formula.Expansion(g, v)
+			step.Diseqs = append(step.Diseqs, Diseq{P: g1, Q: g0})
+			// Projection of this disequation: ¬f₁∧g₁ ∨ ¬f₀∧g₀ ≠ 0.
+			proj := formula.Or(
+				formula.And(formula.Not(f1), g1),
+				formula.And(formula.Not(f0), g0),
+			)
+			proj, err := simplify(proj)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case proj.IsConst(false):
+				form.Unsat = true
+			case formula.TautologyOne(proj):
+				// Trivially nonzero in a nontrivial algebra: drop.
+			default:
+				dup := false
+				for _, r := range rest {
+					if r.Same(proj) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					rest = append(rest, proj)
+				}
+			}
+		}
+		form.Steps[i] = step
+
+		f, err = simplify(formula.And(f1, f0))
+		if err != nil {
+			return nil, err
+		}
+		gs = rest
+	}
+	form.Ground = constraint.Normal{F: f, G: gs}
+	if form.Ground.TriviallyUnsat() {
+		form.Unsat = true
+	}
+	return form, nil
+}
+
+// Proj computes the projection of a normal form on variable v: the best
+// unquantified approximation to ∃x_v.n (Definition after Theorem 4).
+// Exported for the quantifier-elimination experiments (E2, E7).
+func Proj(n constraint.Normal, v int) (constraint.Normal, error) {
+	f1, f0 := formula.Expansion(n.F, v)
+	f, err := simplify(formula.And(f1, f0))
+	if err != nil {
+		return constraint.Normal{}, err
+	}
+	out := constraint.Normal{F: f}
+	for _, g := range n.G {
+		g1, g0 := formula.Expansion(g, v)
+		proj := formula.Or(
+			formula.And(formula.Not(f1), g1),
+			formula.And(formula.Not(f0), g0),
+		)
+		proj, err := simplify(proj)
+		if err != nil {
+			return constraint.Normal{}, err
+		}
+		if formula.TautologyOne(proj) {
+			continue
+		}
+		out.G = append(out.G, proj)
+	}
+	return out, nil
+}
+
+// simplify re-normalizes a formula through its Blake canonical form,
+// yielding an absorbed sum of prime implicants. Semantically the identity;
+// syntactically it removes the redundancy projection tends to build up.
+func simplify(f *formula.Formula) (*formula.Formula, error) {
+	s, err := bcf.BCF(f)
+	if err != nil {
+		return nil, err
+	}
+	return s.FormulaOf(), nil
+}
+
+// SatisfiedStep checks the solved constraint exactly over an algebra:
+// env must bind all parameters and earlier variables, cand is the value
+// proposed for the step's variable. This is the executor's precise filter
+// (as opposed to the bounding-box filter compiled by internal/bbox).
+func (st Step) Satisfied(alg boolalg.Algebra, env []boolalg.Element, cand boolalg.Element) bool {
+	lower := formula.Eval(st.Lower, alg, env)
+	if !boolalg.Leq(alg, lower, cand) {
+		return false
+	}
+	upper := formula.Eval(st.Upper, alg, env)
+	if !boolalg.Leq(alg, cand, upper) {
+		return false
+	}
+	for _, d := range st.Diseqs {
+		p := formula.Eval(d.P, alg, env)
+		q := formula.Eval(d.Q, alg, env)
+		val := alg.Join(alg.Meet(cand, p), alg.Meet(alg.Complement(cand), q))
+		if alg.IsBottom(val) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns every variable mentioned by the step's formulas (parameters
+// and earlier retrieval variables).
+func (st Step) Vars() []int {
+	seen := map[int]bool{}
+	add := func(f *formula.Formula) {
+		for _, v := range f.FreeVars() {
+			seen[v] = true
+		}
+	}
+	add(st.Lower)
+	add(st.Upper)
+	for _, d := range st.Diseqs {
+		add(d.P)
+		add(d.Q)
+	}
+	var out []int
+	for v := 0; v < 64; v++ {
+		if seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the form, one step per line, using name(v) for variables.
+func (f *Form) String() string {
+	return f.StringNamed(func(v int) string { return fmt.Sprintf("x%d", v) })
+}
+
+// StringNamed renders the form with named variables.
+func (f *Form) StringNamed(name func(int) string) string {
+	var b strings.Builder
+	for i, st := range f.Steps {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%s <= %s <= %s",
+			st.Lower.StringNamed(name), name(st.Var), st.Upper.StringNamed(name))
+		for _, d := range st.Diseqs {
+			fmt.Fprintf(&b, " ; %s&%s | ~%s&%s != 0",
+				name(st.Var), parenNamed(d.P, name), name(st.Var), parenNamed(d.Q, name))
+		}
+	}
+	if !f.Ground.F.IsConst(false) || len(f.Ground.G) > 0 {
+		fmt.Fprintf(&b, "\nground: %s = 0", f.Ground.F.StringNamed(name))
+		for _, g := range f.Ground.G {
+			fmt.Fprintf(&b, " ; %s != 0", g.StringNamed(name))
+		}
+	}
+	if f.Unsat {
+		b.WriteString("\nUNSATISFIABLE")
+	}
+	return b.String()
+}
+
+func parenNamed(f *formula.Formula, name func(int) string) string {
+	s := f.StringNamed(name)
+	if strings.ContainsAny(s, "&|") {
+		return "(" + s + ")"
+	}
+	return s
+}

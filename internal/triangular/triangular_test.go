@@ -1,0 +1,343 @@
+package triangular
+
+import (
+	"testing"
+
+	"repro/internal/boolalg"
+	"repro/internal/constraint"
+	"repro/internal/formula"
+)
+
+// TestE2PaperExample1 reproduces §3 Example 1: the projection of
+// S = { x∧y ≠ 0, ¬x∧y ≠ 0 } on x is y ≠ 0 — the best unquantified
+// approximation of ∃x.S (which itself is not expressible: it says
+// "y has at least two parts" in atomic algebras).
+func TestE2PaperExample1(t *testing.T) {
+	x, y := formula.Var(0), formula.Var(1)
+	n := constraint.Normal{
+		F: formula.Zero(),
+		G: []*formula.Formula{
+			formula.And(x, y),
+			formula.And(formula.Not(x), y),
+		},
+	}
+	p, err := Proj(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.F.IsConst(false) {
+		t.Errorf("projected equation = %v, want 0", p.F)
+	}
+	for _, g := range p.G {
+		if !formula.Equivalent(g, y) {
+			t.Errorf("projected disequation = %v, want y", g)
+		}
+	}
+	if len(p.G) == 0 {
+		t.Errorf("projection lost the disequations")
+	}
+}
+
+// Theorem 4: for a system with ONE disequation the projection is exact in
+// EVERY Boolean algebra. Exhaustive check over the 8-element algebra:
+// for all f,g over {x,y} and every value of y,
+// ∃x.(f=0 ∧ g≠0) ⇔ proj(S,x) satisfied.
+func TestTheorem4ExactnessSingleDiseq(t *testing.T) {
+	alg := boolalg.NewBitset(3)
+	x, y := formula.Var(0), formula.Var(1)
+	// A representative zoo of formula pairs.
+	fs := []*formula.Formula{
+		formula.Zero(),
+		formula.And(x, y),
+		formula.Diff(x, y),
+		formula.Xor(x, y),
+		formula.And(formula.Not(x), formula.Not(y)),
+		formula.Or(x, y),
+	}
+	gs := []*formula.Formula{
+		x,
+		formula.And(x, y),
+		formula.Diff(y, x),
+		formula.Not(x),
+		formula.Or(formula.And(x, y), formula.Not(y)),
+	}
+	for _, f := range fs {
+		for _, g := range gs {
+			n := constraint.Normal{F: f, G: []*formula.Formula{g}}
+			p, err := Proj(n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for yv := uint64(0); yv < 8; yv++ {
+				exists := false
+				for xv := uint64(0); xv < 8; xv++ {
+					if n.Satisfied(alg, []boolalg.Element{xv, yv}) {
+						exists = true
+						break
+					}
+				}
+				env := []boolalg.Element{uint64(0), yv} // x unused in p
+				if got := p.Satisfied(alg, env); got != exists {
+					t.Fatalf("f=%v g=%v y=%#b: proj=%v, ∃x=%v\nproj form: F=%v G=%v",
+						f, g, yv, got, exists, p.F, p.G)
+				}
+			}
+		}
+	}
+}
+
+// Soundness for MANY disequations in any algebra: ∃x.S ⇒ proj(S,x)
+// (projection never loses true solutions). The converse can fail on atomic
+// algebras — checked in TestE7AtomicGap below.
+func TestProjSoundnessMultiDiseq(t *testing.T) {
+	alg := boolalg.NewBitset(3)
+	x, y, z := formula.Var(0), formula.Var(1), formula.Var(2)
+	n := constraint.Normal{
+		F: formula.Diff(x, formula.Or(y, z)),
+		G: []*formula.Formula{
+			formula.And(x, y),
+			formula.And(formula.Not(x), y),
+			formula.And(x, z),
+		},
+	}
+	p, err := Proj(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for yv := uint64(0); yv < 8; yv++ {
+		for zv := uint64(0); zv < 8; zv++ {
+			for xv := uint64(0); xv < 8; xv++ {
+				env := []boolalg.Element{xv, yv, zv}
+				if n.Satisfied(alg, env) && !p.Satisfied(alg, env) {
+					t.Fatalf("projection pruned a real solution x=%#b y=%#b z=%#b", xv, yv, zv)
+				}
+			}
+		}
+	}
+}
+
+// TestE7AtomicGap: on the ONE-atom algebra the projection of Example 1's
+// system is satisfiable (y = the atom ≠ 0) yet no witness x exists —
+// exactly the approximation gap Theorem 5 excludes for atomless algebras.
+func TestE7AtomicGap(t *testing.T) {
+	alg := boolalg.Two()
+	x, y := formula.Var(0), formula.Var(1)
+	n := constraint.Normal{
+		F: formula.Zero(),
+		G: []*formula.Formula{
+			formula.And(x, y),
+			formula.And(formula.Not(x), y),
+		},
+	}
+	p, err := Proj(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yv := alg.Top() // the single atom: y ≠ 0 holds
+	if !p.Satisfied(alg, []boolalg.Element{alg.Bottom(), yv}) {
+		t.Fatalf("projection should accept y = atom")
+	}
+	for _, xv := range []boolalg.Element{alg.Bottom(), alg.Top()} {
+		if n.Satisfied(alg, []boolalg.Element{xv, yv}) {
+			t.Fatalf("unexpected witness exists on the atomic algebra")
+		}
+	}
+}
+
+func TestCompileTriangularity(t *testing.T) {
+	// Three query variables, one parameter (index 3).
+	s := constraint.NewSystem()
+	x := s.Var("x")
+	y := s.Var("y")
+	z := s.Var("z")
+	c := s.Var("C") // parameter
+	s.Subset(x, c).Subset(y, x).Overlap(y, z).NotSubset(z, y)
+	order := []int{0, 1, 2} // retrieve x, then y, then z
+	form, err := Compile(s.Normalize(), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if form.Unsat {
+		t.Fatalf("satisfiable system compiled to Unsat")
+	}
+	allowed := map[int]map[int]bool{
+		0: {3: true},
+		1: {3: true, 0: true},
+		2: {3: true, 0: true, 1: true},
+	}
+	for i, st := range form.Steps {
+		if st.Var != order[i] {
+			t.Errorf("step %d constrains %d, want %d", i, st.Var, order[i])
+		}
+		for _, v := range st.Vars() {
+			if !allowed[i][v] {
+				t.Errorf("step %d mentions x%d — not triangular", i, v)
+			}
+		}
+	}
+	// Ground part mentions only the parameter.
+	for _, v := range form.Ground.F.FreeVars() {
+		if v != 3 {
+			t.Errorf("ground equation mentions x%d", v)
+		}
+	}
+}
+
+// Compile soundness: for every full assignment satisfying the original
+// system, every step accepts its prefix — the optimizer never prunes a
+// real solution. Exhaustive over a 2-atom algebra.
+func TestCompileNeverPrunesSolutions(t *testing.T) {
+	systems := []func() *constraint.System{
+		func() *constraint.System {
+			s := constraint.NewSystem()
+			x, y, c := s.Var("x"), s.Var("y"), s.Var("C")
+			s.Subset(x, c).Overlap(x, y).Subset(y, c)
+			return s
+		},
+		func() *constraint.System {
+			s := constraint.NewSystem()
+			x, y, c := s.Var("x"), s.Var("y"), s.Var("C")
+			s.NotSubset(x, y).Equal(formula.Or(x, y), c)
+			return s
+		},
+		func() *constraint.System {
+			s := constraint.NewSystem()
+			x, y, c := s.Var("x"), s.Var("y"), s.Var("C")
+			s.StrictSubset(x, y).Disjoint(x, formula.Not(c))
+			return s
+		},
+	}
+	alg := boolalg.NewBitset(2)
+	for si, mk := range systems {
+		s := mk()
+		form, err := Compile(s.Normalize(), []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cv := uint64(0); cv < 4; cv++ {
+			for xv := uint64(0); xv < 4; xv++ {
+				for yv := uint64(0); yv < 4; yv++ {
+					env := []boolalg.Element{xv, yv, cv}
+					if !s.Satisfied(alg, env) {
+						continue
+					}
+					if form.Unsat {
+						t.Fatalf("system %d: Unsat but solution exists", si)
+					}
+					if !form.Ground.Satisfied(alg, env) {
+						t.Errorf("system %d: ground rejects params of a solution", si)
+					}
+					if !form.Steps[0].Satisfied(alg, env, xv) {
+						t.Errorf("system %d: step 0 rejects x=%#b of solution (%#b,%#b,%#b)",
+							si, xv, xv, yv, cv)
+					}
+					if !form.Steps[1].Satisfied(alg, env, yv) {
+						t.Errorf("system %d: step 1 rejects y=%#b of solution (%#b,%#b,%#b)",
+							si, yv, xv, yv, cv)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Compile completeness on exact steps: a full assignment accepted by all
+// steps AND the ground residual satisfies the original system, whenever
+// each level had at most one disequation (Theorem 4 exactness) — here we
+// simply verify it holds for these specific systems on the 2-atom algebra.
+func TestCompileExactForTheseSystems(t *testing.T) {
+	s := constraint.NewSystem()
+	x, y, c := s.Var("x"), s.Var("y"), s.Var("C")
+	s.Subset(x, c).Subset(y, x).Overlap(y, c)
+	form, err := Compile(s.Normalize(), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := boolalg.NewBitset(2)
+	for cv := uint64(0); cv < 4; cv++ {
+		for xv := uint64(0); xv < 4; xv++ {
+			for yv := uint64(0); yv < 4; yv++ {
+				env := []boolalg.Element{xv, yv, cv}
+				accepted := form.Ground.Satisfied(alg, env) &&
+					form.Steps[0].Satisfied(alg, env, xv) &&
+					form.Steps[1].Satisfied(alg, env, yv)
+				if accepted != s.Satisfied(alg, env) {
+					t.Errorf("exactness fails at (%#b,%#b,%#b): steps=%v, system=%v",
+						xv, yv, cv, accepted, s.Satisfied(alg, env))
+				}
+			}
+		}
+	}
+}
+
+func TestCompileDetectsUnsat(t *testing.T) {
+	s := constraint.NewSystem()
+	x := s.Var("x")
+	s.Subset(x, formula.Zero()).NonEmpty(x)
+	form, err := Compile(s.Normalize(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !form.Unsat {
+		t.Errorf("x ⊑ 0 ∧ x ≠ 0 not detected as unsat")
+	}
+}
+
+func TestCompileSchroderRange(t *testing.T) {
+	// x = C exactly: lower and upper bounds both C.
+	s := constraint.NewSystem()
+	x, c := s.Var("x"), s.Var("C")
+	s.Equal(x, c)
+	form, err := Compile(s.Normalize(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := form.Steps[0]
+	if !formula.Equivalent(st.Lower, c) {
+		t.Errorf("Lower = %v, want C", st.Lower)
+	}
+	if !formula.Equivalent(st.Upper, c) {
+		t.Errorf("Upper = %v, want C", st.Upper)
+	}
+}
+
+func TestStepVarsAndString(t *testing.T) {
+	s := constraint.NewSystem()
+	x, y, c := s.Var("x"), s.Var("y"), s.Var("C")
+	s.Subset(y, formula.Or(x, c)).Overlap(y, x)
+	form, err := Compile(s.Normalize(), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := form.Steps[1].Vars()
+	if len(vars) != 2 || vars[0] != 0 || vars[1] != 2 {
+		t.Errorf("step 1 Vars = %v", vars)
+	}
+	out := form.StringNamed(s.Vars.Name)
+	if out == "" {
+		t.Errorf("empty rendering")
+	}
+	if form.String() == "" {
+		t.Errorf("empty default rendering")
+	}
+}
+
+func TestProjEliminatesVariable(t *testing.T) {
+	x, y := formula.Var(0), formula.Var(1)
+	n := constraint.Normal{
+		F: formula.Xor(x, y),
+		G: []*formula.Formula{formula.And(x, y)},
+	}
+	p, err := Proj(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.F.Uses(0) {
+		t.Errorf("projected equation still uses x: %v", p.F)
+	}
+	for _, g := range p.G {
+		if g.Uses(0) {
+			t.Errorf("projected disequation still uses x: %v", g)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package workload generates the deterministic synthetic datasets the
+// experiments run on: the smuggler/GIS map of §2 (country, states, border
+// towns, roads), VLSI-style rectangle layouts, and random regions for
+// property tests. All generation is driven by a splitmix64 RNG so every
+// experiment is reproducible from its seed.
+package workload
+
+// RNG is a splitmix64 pseudo-random generator — tiny, fast and
+// deterministic across platforms.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform value in [lo,hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// IntN returns a uniform integer in [0,n).
+func (r *RNG) IntN(n int) int {
+	if n <= 0 {
+		panic("workload: IntN with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}

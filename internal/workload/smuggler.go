@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+// MapConfig parameterizes the §2 scenario: a country C tiled by states,
+// border towns straddling C's frontier, interior decoy towns, and roads
+// leading from towns into the country.
+type MapConfig struct {
+	Seed     uint64
+	Universe bbox.Box // whole space; default [0,1000]^2
+	Country  bbox.Box // default [100,100]..[900,900]
+	StatesX  int      // state grid columns (default 3)
+	StatesY  int      // state grid rows (default 3)
+	Towns    int      // border towns (default 12)
+	Interior int      // interior decoy towns (default 12)
+	Roads    int      // roads (default 30)
+	Planted  int      // roads planted to guarantee solutions (default 4)
+}
+
+func (c MapConfig) withDefaults() MapConfig {
+	if c.Universe.IsEmpty() {
+		c.Universe = bbox.Rect(0, 0, 1000, 1000)
+	}
+	if c.Country.IsEmpty() {
+		c.Country = bbox.Rect(100, 100, 900, 900)
+	}
+	if c.StatesX == 0 {
+		c.StatesX = 3
+	}
+	if c.StatesY == 0 {
+		c.StatesY = 3
+	}
+	if c.Towns == 0 {
+		c.Towns = 12
+	}
+	if c.Interior == 0 {
+		c.Interior = 12
+	}
+	if c.Roads == 0 {
+		c.Roads = 30
+	}
+	if c.Planted == 0 {
+		c.Planted = 4
+	}
+	if c.Planted > c.Roads {
+		c.Planted = c.Roads
+	}
+	if c.Planted > c.Towns {
+		c.Planted = c.Towns
+	}
+	return c
+}
+
+// Map is a generated scenario.
+type Map struct {
+	Config  MapConfig
+	Country *region.Region
+	Area    *region.Region // destination area A ⊑ C
+	States  []*region.Region
+	Towns   []*region.Region // border towns (straddle the frontier)
+	Decoys  []*region.Region // interior towns (inside C entirely)
+	Roads   []*region.Region
+}
+
+// GenMap generates the scenario deterministically from the config.
+func GenMap(cfg MapConfig) *Map {
+	cfg = cfg.withDefaults()
+	rng := NewRNG(cfg.Seed)
+	m := &Map{Config: cfg, Country: region.FromBox(cfg.Country)}
+
+	// States: a jittered grid tiling the country exactly.
+	cutsX := jitteredCuts(rng, cfg.Country.Lo[0], cfg.Country.Hi[0], cfg.StatesX)
+	cutsY := jitteredCuts(rng, cfg.Country.Lo[1], cfg.Country.Hi[1], cfg.StatesY)
+	for i := 0; i < cfg.StatesX; i++ {
+		for j := 0; j < cfg.StatesY; j++ {
+			m.States = append(m.States, region.FromBox(bbox.Rect(
+				cutsX[i], cutsY[j], cutsX[i+1], cutsY[j+1])))
+		}
+	}
+
+	// The planted state: a state on the western border of the country.
+	// Planted towns sit on its outer edge; the destination area overlaps
+	// it; planted roads run from a planted town into the area without
+	// leaving the state — the guaranteed solutions.
+	plantRow := rng.IntN(cfg.StatesY)
+	plantBox := bbox.Rect(cutsX[0], cutsY[plantRow], cutsX[1], cutsY[plantRow+1])
+
+	// Destination area: a box of ~25% country extent overlapping the
+	// planted state's interior, clamped to the country.
+	aw := (cfg.Country.Hi[0] - cfg.Country.Lo[0]) * 0.25
+	ah := (cfg.Country.Hi[1] - cfg.Country.Lo[1]) * 0.25
+	acx := plantBox.Lo[0] + (plantBox.Hi[0]-plantBox.Lo[0])*0.7
+	acy := (plantBox.Lo[1] + plantBox.Hi[1]) / 2
+	ax := clamp(acx-aw/2, cfg.Country.Lo[0], cfg.Country.Hi[0]-aw)
+	ay := clamp(acy-ah/2, cfg.Country.Lo[1], cfg.Country.Hi[1]-ah)
+	m.Area = region.FromBox(bbox.Rect(ax, ay, ax+aw, ay+ah))
+
+	// Border towns. The first Planted towns straddle the planted state's
+	// western (country) border; the rest are placed uniformly around the
+	// frontier.
+	for i := 0; i < cfg.Planted; i++ {
+		size := rng.Range(10, 20)
+		cy := rng.Range(plantBox.Lo[1]+15, plantBox.Hi[1]-15)
+		cx := cfg.Country.Lo[0]
+		m.Towns = append(m.Towns, region.FromBox(
+			bbox.Rect(cx-size/2, cy-size/2, cx+size/2, cy+size/2)))
+	}
+	for i := cfg.Planted; i < cfg.Towns; i++ {
+		m.Towns = append(m.Towns, borderTown(rng, cfg.Country))
+	}
+	// Interior decoys: strictly inside the country, away from the border.
+	for i := 0; i < cfg.Interior; i++ {
+		size := rng.Range(8, 16)
+		x := rng.Range(cfg.Country.Lo[0]+40, cfg.Country.Hi[0]-40-size)
+		y := rng.Range(cfg.Country.Lo[1]+40, cfg.Country.Hi[1]-40-size)
+		m.Decoys = append(m.Decoys, region.FromBox(bbox.Rect(x, y, x+size, y+size)))
+	}
+
+	// Planted roads: from planted town i into the area, staying inside
+	// town ∪ plantedState ∪ area — verified with exact region operations,
+	// retrying targets until the constraint holds.
+	plantState := region.FromBox(plantBox)
+	target := m.Area.Intersect(plantState)
+	if target.IsEmpty() {
+		target = m.Area // area clamped away from the state; aim at it anyway
+	}
+	tb := target.BoundingBox()
+	for i := 0; i < cfg.Planted; i++ {
+		c := m.Towns[i].BoundingBox().Center()
+		planted := false
+		for attempt := 0; attempt < 60 && !planted; attempt++ {
+			tx := rng.Range(tb.Lo[0]+2, tb.Hi[0]-2)
+			ty := rng.Range(tb.Lo[1]+2, tb.Hi[1]-2)
+			road := lRoad(c[0], c[1], tx, ty, rng.Range(3, 5))
+			cover := m.Area.Union(plantState).Union(m.Towns[i])
+			if road.Leq(cover) && road.Overlaps(m.Area) && road.Overlaps(m.Towns[i]) {
+				m.Roads = append(m.Roads, road)
+				planted = true
+			}
+		}
+		if !planted {
+			// Fallback: a straight horizontal road from the town into the
+			// state at the town's own latitude, reaching the area's x-span
+			// only if it lies at that latitude; still a decoy otherwise.
+			m.Roads = append(m.Roads, lRoad(c[0], c[1], tb.Lo[0]+3, c[1], 4))
+		}
+	}
+
+	// Decoy roads: L-shapes between random points; they rarely satisfy
+	// the single-state requirement.
+	for i := len(m.Roads); i < cfg.Roads; i++ {
+		var sx, sy float64
+		if i%2 == 0 {
+			t := m.Towns[rng.IntN(len(m.Towns))].BoundingBox()
+			c := t.Center()
+			sx, sy = c[0], c[1]
+		} else {
+			sx = rng.Range(cfg.Country.Lo[0]+20, cfg.Country.Hi[0]-20)
+			sy = rng.Range(cfg.Country.Lo[1]+20, cfg.Country.Hi[1]-20)
+		}
+		tx := rng.Range(cfg.Country.Lo[0]+30, cfg.Country.Hi[0]-30)
+		ty := rng.Range(cfg.Country.Lo[1]+30, cfg.Country.Hi[1]-30)
+		m.Roads = append(m.Roads, lRoad(sx, sy, tx, ty, rng.Range(3, 6)))
+	}
+	return m
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// jitteredCuts returns n+1 cut points from lo to hi with ±20% jitter on
+// the interior cuts.
+func jitteredCuts(rng *RNG, lo, hi float64, n int) []float64 {
+	cuts := make([]float64, n+1)
+	cuts[0], cuts[n] = lo, hi
+	step := (hi - lo) / float64(n)
+	for i := 1; i < n; i++ {
+		center := lo + float64(i)*step
+		cuts[i] = center + rng.Range(-0.2, 0.2)*step
+	}
+	return cuts
+}
+
+// borderTown returns a box straddling a uniformly chosen point of the
+// country frontier.
+func borderTown(rng *RNG, c bbox.Box) *region.Region {
+	size := rng.Range(10, 20)
+	side := rng.IntN(4)
+	var cx, cy float64
+	switch side {
+	case 0: // west
+		cx, cy = c.Lo[0], rng.Range(c.Lo[1]+20, c.Hi[1]-20)
+	case 1: // east
+		cx, cy = c.Hi[0], rng.Range(c.Lo[1]+20, c.Hi[1]-20)
+	case 2: // south
+		cx, cy = rng.Range(c.Lo[0]+20, c.Hi[0]-20), c.Lo[1]
+	default: // north
+		cx, cy = rng.Range(c.Lo[0]+20, c.Hi[0]-20), c.Hi[1]
+	}
+	return region.FromBox(bbox.Rect(cx-size/2, cy-size/2, cx+size/2, cy+size/2))
+}
+
+// lRoad builds an L-shaped road region of the given width from (sx,sy) to
+// (tx,ty): a horizontal leg then a vertical leg.
+func lRoad(sx, sy, tx, ty, w float64) *region.Region {
+	h := bbox.Rect(min(sx, tx)-w/2, sy-w/2, max(sx, tx)+w/2, sy+w/2)
+	v := bbox.Rect(tx-w/2, min(sy, ty)-w/2, tx+w/2, max(sy, ty)+w/2)
+	return region.FromBoxes(2, h, v)
+}
+
+// Populate loads the map into a store under the conventional layer names
+// "towns" (border towns plus decoys), "roads" and "states".
+func (m *Map) Populate(store *spatialdb.Store) {
+	for i, t := range m.Towns {
+		store.MustInsert("towns", fmt.Sprintf("border-town-%d", i), t)
+	}
+	for i, t := range m.Decoys {
+		store.MustInsert("towns", fmt.Sprintf("town-%d", i), t)
+	}
+	for i, r := range m.Roads {
+		store.MustInsert("roads", fmt.Sprintf("road-%d", i), r)
+	}
+	for i, s := range m.States {
+		store.MustInsert("states", fmt.Sprintf("state-%d", i), s)
+	}
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

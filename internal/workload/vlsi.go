@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+// VLSIConfig parameterizes a two-metal-layer-plus-vias layout, the design
+// rule checking domain the paper's introduction cites [15].
+type VLSIConfig struct {
+	Seed     uint64
+	Universe bbox.Box // default [0,1000]^2
+	Metal1   int      // horizontal wires (default 60)
+	Metal2   int      // vertical wires (default 60)
+	Vias     int      // small squares, most placed on wire crossings (default 80)
+}
+
+func (c VLSIConfig) withDefaults() VLSIConfig {
+	if c.Universe.IsEmpty() {
+		c.Universe = bbox.Rect(0, 0, 1000, 1000)
+	}
+	if c.Metal1 == 0 {
+		c.Metal1 = 60
+	}
+	if c.Metal2 == 0 {
+		c.Metal2 = 60
+	}
+	if c.Vias == 0 {
+		c.Vias = 80
+	}
+	return c
+}
+
+// VLSI is a generated layout.
+type VLSI struct {
+	Config VLSIConfig
+	Metal1 []*region.Region // horizontal wires
+	Metal2 []*region.Region // vertical wires
+	Vias   []*region.Region
+}
+
+// GenVLSI generates a layout deterministically from the config.
+func GenVLSI(cfg VLSIConfig) *VLSI {
+	cfg = cfg.withDefaults()
+	rng := NewRNG(cfg.Seed)
+	v := &VLSI{Config: cfg}
+	u := cfg.Universe
+
+	for i := 0; i < cfg.Metal1; i++ {
+		y := rng.Range(u.Lo[1]+10, u.Hi[1]-10)
+		x0 := rng.Range(u.Lo[0], u.Hi[0]-200)
+		length := rng.Range(100, 400)
+		w := rng.Range(4, 10)
+		v.Metal1 = append(v.Metal1, region.FromBox(
+			bbox.Rect(x0, y-w/2, minF(x0+length, u.Hi[0]), y+w/2)))
+	}
+	for i := 0; i < cfg.Metal2; i++ {
+		x := rng.Range(u.Lo[0]+10, u.Hi[0]-10)
+		y0 := rng.Range(u.Lo[1], u.Hi[1]-200)
+		length := rng.Range(100, 400)
+		w := rng.Range(4, 10)
+		v.Metal2 = append(v.Metal2, region.FromBox(
+			bbox.Rect(x-w/2, y0, x+w/2, minF(y0+length, u.Hi[1]))))
+	}
+	// Vias: 2/3 placed at actual wire crossings (connecting), 1/3 random
+	// (dangling — design-rule violations for the DRC query to find).
+	for i := 0; i < cfg.Vias; i++ {
+		var cx, cy float64
+		placed := false
+		if i%3 != 0 {
+			for attempt := 0; attempt < 20 && !placed; attempt++ {
+				m1 := v.Metal1[rng.IntN(len(v.Metal1))].BoundingBox()
+				m2 := v.Metal2[rng.IntN(len(v.Metal2))].BoundingBox()
+				inter := m1.Meet(m2)
+				if !inter.IsEmpty() {
+					c := inter.Center()
+					cx, cy = c[0], c[1]
+					placed = true
+				}
+			}
+		}
+		if !placed {
+			cx = rng.Range(u.Lo[0]+5, u.Hi[0]-5)
+			cy = rng.Range(u.Lo[1]+5, u.Hi[1]-5)
+		}
+		s := rng.Range(1.5, 3)
+		v.Vias = append(v.Vias, region.FromBox(bbox.Rect(cx-s, cy-s, cx+s, cy+s)))
+	}
+	return v
+}
+
+// Populate loads the layout into a store under layers "metal1", "metal2",
+// "vias".
+func (v *VLSI) Populate(store *spatialdb.Store) {
+	for i, r := range v.Metal1 {
+		store.MustInsert("metal1", fmt.Sprintf("m1-%d", i), r)
+	}
+	for i, r := range v.Metal2 {
+		store.MustInsert("metal2", fmt.Sprintf("m2-%d", i), r)
+	}
+	for i, r := range v.Vias {
+		store.MustInsert("vias", fmt.Sprintf("via-%d", i), r)
+	}
+}
+
+// RandRegion returns a random region of up to maxBoxes boxes inside the
+// universe; used by property tests and the E7 experiment.
+func RandRegion(rng *RNG, universe bbox.Box, maxBoxes int) *region.Region {
+	n := 1 + rng.IntN(maxBoxes)
+	r := region.Empty(universe.K)
+	for i := 0; i < n; i++ {
+		w := rng.Range(1, (universe.Hi[0]-universe.Lo[0])/4)
+		h := rng.Range(1, (universe.Hi[1]-universe.Lo[1])/4)
+		x := rng.Range(universe.Lo[0], universe.Hi[0]-w)
+		y := rng.Range(universe.Lo[1], universe.Hi[1]-h)
+		r = r.Union(region.FromBox(bbox.Rect(x, y, x+w, y+h)))
+	}
+	return r
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

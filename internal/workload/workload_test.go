@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		v := r.Range(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("Range out of range: %g", v)
+		}
+		n := r.IntN(7)
+		if n < 0 || n >= 7 {
+			t.Fatalf("IntN out of range: %d", n)
+		}
+	}
+}
+
+func TestIntNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(0) should panic")
+		}
+	}()
+	NewRNG(1).IntN(0)
+}
+
+func TestGenMapStructure(t *testing.T) {
+	m := GenMap(MapConfig{Seed: 1})
+	cfg := m.Config
+	if len(m.States) != cfg.StatesX*cfg.StatesY {
+		t.Fatalf("states = %d", len(m.States))
+	}
+	if len(m.Towns) != cfg.Towns || len(m.Decoys) != cfg.Interior || len(m.Roads) != cfg.Roads {
+		t.Fatalf("counts wrong: %d towns, %d decoys, %d roads",
+			len(m.Towns), len(m.Decoys), len(m.Roads))
+	}
+	// States tile the country exactly (up to null sets).
+	tiled := region.Empty(2)
+	for i, s := range m.States {
+		if !s.Leq(m.Country) {
+			t.Errorf("state %d escapes the country", i)
+		}
+		for j := i + 1; j < len(m.States); j++ {
+			if s.Overlaps(m.States[j]) {
+				t.Errorf("states %d and %d overlap", i, j)
+			}
+		}
+		tiled = tiled.Union(s)
+	}
+	if !tiled.Equal(m.Country) {
+		t.Errorf("states do not tile the country: %g vs %g",
+			tiled.Measure(), m.Country.Measure())
+	}
+	// Border towns straddle the frontier: inside ∩ C ≠ ∅ and ∩ ¬C ≠ ∅.
+	universe := cfg.Universe
+	for i, town := range m.Towns {
+		if !town.Overlaps(m.Country) {
+			t.Errorf("border town %d misses the country", i)
+		}
+		if town.Difference(m.Country).IsEmpty() {
+			t.Errorf("border town %d entirely inside the country", i)
+		}
+		if !town.Leq(region.FromBox(universe)) {
+			t.Errorf("border town %d escapes the universe", i)
+		}
+	}
+	// Decoys are entirely inside.
+	for i, d := range m.Decoys {
+		if !d.Leq(m.Country) {
+			t.Errorf("decoy %d not inside the country", i)
+		}
+	}
+	// The destination area is inside the country.
+	if !m.Area.Leq(m.Country) {
+		t.Errorf("area escapes the country")
+	}
+	// Roads are nonempty L-shapes.
+	for i, r := range m.Roads {
+		if r.IsEmpty() {
+			t.Errorf("road %d empty", i)
+		}
+	}
+}
+
+func TestGenMapDeterminism(t *testing.T) {
+	a := GenMap(MapConfig{Seed: 5})
+	b := GenMap(MapConfig{Seed: 5})
+	if !a.Area.Equal(b.Area) || !a.Towns[0].Equal(b.Towns[0]) || !a.Roads[0].Equal(b.Roads[0]) {
+		t.Errorf("same seed produced different maps")
+	}
+	c := GenMap(MapConfig{Seed: 6})
+	if a.Area.Equal(c.Area) && a.Towns[0].Equal(c.Towns[0]) {
+		t.Errorf("different seeds produced identical maps")
+	}
+}
+
+func TestMapPopulate(t *testing.T) {
+	m := GenMap(MapConfig{Seed: 2})
+	store := spatialdb.NewStore(m.Config.Universe, spatialdb.RTree)
+	m.Populate(store)
+	if store.Layer("towns").Len() != m.Config.Towns+m.Config.Interior {
+		t.Errorf("towns layer = %d", store.Layer("towns").Len())
+	}
+	if store.Layer("roads").Len() != m.Config.Roads {
+		t.Errorf("roads layer = %d", store.Layer("roads").Len())
+	}
+	if store.Layer("states").Len() != m.Config.StatesX*m.Config.StatesY {
+		t.Errorf("states layer = %d", store.Layer("states").Len())
+	}
+}
+
+func TestGenVLSIStructure(t *testing.T) {
+	v := GenVLSI(VLSIConfig{Seed: 3})
+	cfg := v.Config
+	if len(v.Metal1) != cfg.Metal1 || len(v.Metal2) != cfg.Metal2 || len(v.Vias) != cfg.Vias {
+		t.Fatalf("counts wrong")
+	}
+	u := region.FromBox(cfg.Universe)
+	for i, r := range v.Metal1 {
+		if r.IsEmpty() || !r.Leq(u) {
+			t.Errorf("m1 wire %d invalid", i)
+		}
+	}
+	for i, r := range v.Vias {
+		if r.IsEmpty() {
+			t.Errorf("via %d empty", i)
+		}
+	}
+	// Some vias must actually connect a crossing (generated at 2/3 rate).
+	connected := 0
+	for _, via := range v.Vias {
+		for _, m1 := range v.Metal1 {
+			if !via.Overlaps(m1) {
+				continue
+			}
+			for _, m2 := range v.Metal2 {
+				if via.Overlaps(m2) {
+					connected++
+					break
+				}
+			}
+			break
+		}
+	}
+	if connected == 0 {
+		t.Errorf("no via connects any crossing")
+	}
+	store := spatialdb.NewStore(cfg.Universe, spatialdb.Scan)
+	v.Populate(store)
+	if store.Layer("vias").Len() != cfg.Vias {
+		t.Errorf("vias layer = %d", store.Layer("vias").Len())
+	}
+}
+
+func TestRandRegion(t *testing.T) {
+	rng := NewRNG(9)
+	u := bbox.Rect(0, 0, 100, 100)
+	for i := 0; i < 50; i++ {
+		r := RandRegion(rng, u, 4)
+		if r.IsEmpty() {
+			t.Fatalf("empty random region")
+		}
+		if !r.Leq(region.FromBox(u)) {
+			t.Fatalf("random region escapes the universe")
+		}
+		if r.NumBoxes() > 16 {
+			t.Fatalf("random region too complex: %d boxes", r.NumBoxes())
+		}
+	}
+}

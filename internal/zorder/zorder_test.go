@@ -1,0 +1,243 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bbox"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	cases := []struct{ x, y uint32 }{
+		{0, 0}, {1, 0}, {0, 1}, {0xffff, 0xffff}, {0x1234, 0xabc},
+	}
+	for _, c := range cases {
+		code := Interleave2(c.x, c.y)
+		x, y := Deinterleave2(code)
+		if x != c.x || y != c.y {
+			t.Errorf("round trip (%d,%d) → %d → (%d,%d)", c.x, c.y, code, x, y)
+		}
+	}
+}
+
+func TestInterleaveOrderIsZOrder(t *testing.T) {
+	// The four children of the root quadrant in z order:
+	// (0,0) < (1,0) < (0,1) < (1,1).
+	codes := []uint64{
+		Interleave2(0, 0), Interleave2(1, 0), Interleave2(0, 1), Interleave2(1, 1),
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Fatalf("z-order violated: %v", codes)
+		}
+	}
+	if codes[3] != 3 {
+		t.Errorf("Interleave2(1,1) = %d, want 3", codes[3])
+	}
+}
+
+// Property: round trip for arbitrary 16-bit coordinates.
+func TestQuickInterleaveRoundTrip(t *testing.T) {
+	check := func(x, y uint16) bool {
+		cx, cy := Deinterleave2(Interleave2(uint32(x), uint32(y)))
+		return cx == uint32(x) && cy == uint32(y)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementContains(t *testing.T) {
+	whole := Element{Code: 0, Level: 0}
+	quadrant := Element{Code: 0, Level: 1}
+	other := Element{Code: quadrant.Size(), Level: 1}
+	if !whole.ContainsElem(quadrant) || !whole.ContainsElem(other) {
+		t.Errorf("root must contain its children")
+	}
+	if quadrant.ContainsElem(other) || other.ContainsElem(quadrant) {
+		t.Errorf("siblings must not contain each other")
+	}
+	if !quadrant.ContainsElem(quadrant) {
+		t.Errorf("containment must be reflexive")
+	}
+}
+
+func testSpace() *Space { return NewSpace(bbox.Rect(0, 0, 1024, 1024)) }
+
+func TestNewSpaceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty universe should panic")
+		}
+	}()
+	NewSpace(bbox.Empty(2))
+}
+
+func TestDecomposeWholeUniverse(t *testing.T) {
+	s := testSpace()
+	es := s.Decompose(bbox.Rect(0, 0, 1024, 1024), 0)
+	if len(es) != 1 || es[0].Level != 0 {
+		t.Errorf("universe decomposition = %v", es)
+	}
+}
+
+func TestDecomposeQuadrant(t *testing.T) {
+	s := testSpace()
+	// Cell width is 1024/2^16 = 0.015625; the lower-left quadrant spans
+	// grid cells [0, 32767], i.e. coordinates [0, 512). A box whose upper
+	// corner falls inside cell 32767 decomposes to exactly that quadrant.
+	es := s.Decompose(bbox.Rect(0, 0, 511.99, 511.99), 0)
+	if len(es) != 1 || es[0].Level != 1 || es[0].Code != 0 {
+		t.Errorf("quadrant decomposition = %v", es)
+	}
+}
+
+func TestDecomposeOutsideUniverse(t *testing.T) {
+	s := testSpace()
+	if es := s.Decompose(bbox.Rect(2000, 2000, 3000, 3000), 0); es != nil {
+		t.Errorf("outside box decomposed to %v", es)
+	}
+}
+
+func TestDecomposeCoverage(t *testing.T) {
+	s := testSpace()
+	b := bbox.Rect(100, 200, 300, 250)
+	es := s.Decompose(b, 64)
+	if len(es) == 0 {
+		t.Fatalf("no elements")
+	}
+	// Every element interval must be disjoint from the others (after
+	// merge) and the union must cover the box's grid cells: spot-check by
+	// verifying a sample of points inside b fall in some element.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		px := 100 + rng.Float64()*200
+		py := 200 + rng.Float64()*50
+		cx := uint32(px / 1024 * (1 << MaxLevel))
+		cy := uint32(py / 1024 * (1 << MaxLevel))
+		leaf := Element{Code: Interleave2(cx, cy), Level: MaxLevel}
+		found := false
+		for _, e := range es {
+			if e.ContainsElem(leaf) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("point (%g,%g) not covered", px, py)
+		}
+	}
+	// Disjointness.
+	for i := range es {
+		for j := i + 1; j < len(es); j++ {
+			if es[i].ContainsElem(es[j]) || es[j].ContainsElem(es[i]) {
+				t.Fatalf("elements %v and %v overlap", es[i], es[j])
+			}
+		}
+	}
+}
+
+func TestDecomposeBudget(t *testing.T) {
+	s := testSpace()
+	// A thin diagonal-ish box needs many cells; the budget must cap it.
+	budgeted := s.Decompose(bbox.Rect(1, 1, 1000, 3), 8)
+	unbounded := s.Decompose(bbox.Rect(1, 1, 1000, 3), 0)
+	// The budget is approximate (it is checked before each emit and the
+	// post-merge can recombine), but it must cut the cover substantially.
+	if len(budgeted)*2 > len(unbounded) {
+		t.Errorf("budgeted cover has %d elements vs %d unbounded — budget ineffective",
+			len(budgeted), len(unbounded))
+	}
+}
+
+func randItems(n int, seed int64, span float64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		w, h := rng.Float64()*span+1, rng.Float64()*span+1
+		items[i] = Item{ID: int64(i), Box: bbox.Rect(x, y, x+w, y+h)}
+	}
+	return items
+}
+
+func TestJoinMatchesNestedLoop(t *testing.T) {
+	s := testSpace()
+	as := randItems(80, 1, 50)
+	bs := randItems(90, 2, 50)
+	pairs, stats := s.Join(as, bs, 32)
+	want := map[Pair]bool{}
+	for _, a := range as {
+		for _, b := range bs {
+			if a.Box.Overlaps(b.Box) {
+				want[Pair{a.ID, b.ID}] = true
+			}
+		}
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("join found %d pairs, nested loop %d", len(pairs), len(want))
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Fatalf("join reported non-overlapping pair %v", p)
+		}
+	}
+	if stats.Results != len(pairs) {
+		t.Errorf("stats.Results = %d, len(pairs) = %d", stats.Results, len(pairs))
+	}
+	if stats.Candidates < stats.Results {
+		t.Errorf("candidates %d < results %d", stats.Candidates, stats.Results)
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	s := testSpace()
+	pairs, _ := s.Join(nil, randItems(5, 3, 10), 0)
+	if len(pairs) != 0 {
+		t.Errorf("join with empty left = %v", pairs)
+	}
+}
+
+func TestJoinIdenticalBoxes(t *testing.T) {
+	s := testSpace()
+	box := bbox.Rect(10, 10, 20, 20)
+	as := []Item{{ID: 1, Box: box}}
+	bs := []Item{{ID: 2, Box: box}}
+	pairs, _ := s.Join(as, bs, 0)
+	if len(pairs) != 1 || pairs[0] != (Pair{1, 2}) {
+		t.Errorf("identical-box join = %v", pairs)
+	}
+}
+
+func TestJoinTouchingBoxes(t *testing.T) {
+	s := testSpace()
+	as := []Item{{ID: 1, Box: bbox.Rect(0, 0, 10, 10)}}
+	bs := []Item{{ID: 2, Box: bbox.Rect(10, 0, 20, 10)}}
+	pairs, _ := s.Join(as, bs, 0)
+	if len(pairs) != 1 {
+		t.Errorf("touching boxes should join (closed semantics): %v", pairs)
+	}
+}
+
+// Property: z-order join equals nested loop on random inputs.
+func TestQuickJoinAgainstNestedLoop(t *testing.T) {
+	s := testSpace()
+	check := func(seed int64) bool {
+		as := randItems(25, seed, 80)
+		bs := randItems(25, seed+1, 80)
+		pairs, _ := s.Join(as, bs, 16)
+		count := 0
+		for _, a := range as {
+			for _, b := range bs {
+				if a.Box.Overlaps(b.Box) {
+					count++
+				}
+			}
+		}
+		return len(pairs) == count
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
