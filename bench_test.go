@@ -19,9 +19,11 @@ import (
 	"repro/internal/bcf"
 	"repro/internal/constraint"
 	"repro/internal/formula"
+	"repro/internal/lang"
 	"repro/internal/query"
 	"repro/internal/region"
 	"repro/internal/rtree"
+	"repro/internal/server"
 	"repro/internal/spatialdb"
 	"repro/internal/triangular"
 	"repro/internal/workload"
@@ -448,5 +450,86 @@ func BenchmarkZOrderIndexSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		layer.Search(spec, func(spatialdb.Object) bool { return true })
+	}
+}
+
+// ---- boolqd serving layer: cold compile vs plan-cache hit ----
+//
+// The service benchmark pair isolates what the plan cache buys a serving
+// workload: "cold" is the full per-request pipeline a cache miss pays
+// (normalize → parse → compile → run), "cached" is the hit path
+// (normalize → cache lookup → run). The difference is the entire §3/§4
+// compilation cost, amortized away for repeated queries.
+
+const smugglerSrc = `
+find T in towns, R in roads, B in states
+given C, A
+where A <= C; B <= C; R <= A | B | T;
+      R & A != 0; R & T != 0; T !<= C
+`
+
+func BenchmarkServiceQueryCold(b *testing.B) {
+	store, params := smugglerSetup(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		norm, err := lang.Normalize(smugglerSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := lang.Parse(norm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := query.Compile(q, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.Run(store, params, query.DefaultOptions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServiceQueryCached(b *testing.B) {
+	store, params := smugglerSetup(1)
+	cache := server.NewPlanCache(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		norm, err := lang.Normalize(smugglerSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, ok := cache.Get(norm, 0, store.Epoch())
+		if !ok {
+			q, err := lang.Parse(norm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if plan, err = query.Compile(q, store); err != nil {
+				b.Fatal(err)
+			}
+			cache.Put(norm, 0, store.Epoch(), plan)
+		}
+		if _, err := plan.Run(store, params, query.DefaultOptions); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if cache.Hits() < uint64(b.N-1) {
+		b.Fatalf("expected ≥ %d cache hits, got %d", b.N-1, cache.Hits())
+	}
+}
+
+// BenchmarkServiceCompileOnly is the cost the cache removes per hit.
+func BenchmarkServiceCompileOnly(b *testing.B) {
+	store, _ := smugglerSetup(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := lang.Parse(smugglerSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := query.Compile(q, store); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,163 @@
+// Command boolqd serves constraint queries over HTTP: the boolq pipeline
+// (normalize → triangularize → bounding-box plans → incremental
+// execution) behind a concurrent JSON API with a compiled-plan cache.
+//
+//	boolqd -demo                          # serve the generated smuggler map
+//	boolqd -snapshot db.json              # serve a saved store
+//	boolqd -addr :9000 -index gridfile -workers 8
+//
+// Try it:
+//
+//	curl localhost:8080/layers
+//	curl -X POST localhost:8080/query -d '{
+//	  "query": "find T in towns given C where T !<= C",
+//	  "params": {"C": {"boxes": [{"lo": [100,100], "hi": [900,900]}]}}
+//	}'
+//	curl localhost:8080/stats
+//
+// See internal/server for the full endpoint list and DESIGN.md for how
+// the service layers over the library.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/bbox"
+	"repro/internal/server"
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "boolqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		indexName = flag.String("index", "rtree", "index backend: scan|rtree|point-rtree|gridfile|zorder")
+		snapshot  = flag.String("snapshot", "", "store snapshot to load at startup (JSON, see /snapshot)")
+		universe  = flag.String("universe", "0,0,1000,1000", "universe box x0,y0,x1,y1 when starting empty")
+		workers   = flag.Int("workers", 0, "default query parallelism (requests may override)")
+		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "plan cache capacity")
+		demo      = flag.Bool("demo", false, "populate the generated §2 smuggler map instead of starting empty")
+		seed      = flag.Uint64("seed", 42, "demo map seed")
+		scale     = flag.Int("scale", 1, "demo map size multiplier")
+	)
+	flag.Parse()
+
+	kind, err := parseIndex(*indexName)
+	if err != nil {
+		return err
+	}
+	store, err := openStore(*snapshot, *universe, kind, *demo, *seed, *scale)
+	if err != nil {
+		return err
+	}
+	for _, name := range store.LayerNames() {
+		l := store.Layer(name)
+		log.Printf("layer %q: %d objects (%s)", name, l.Len(), l.Kind())
+	}
+
+	srv := server.New(store, server.Options{CacheSize: *cacheSize, Workers: *workers})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("boolqd listening on %s (index %s, plan cache %d, workers %d)",
+			*addr, kind, *cacheSize, *workers)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}
+
+func openStore(snapshot, universe string, kind spatialdb.IndexKind, demo bool, seed uint64, scale int) (*spatialdb.Store, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		store, err := spatialdb.Load(f, kind)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded snapshot %s", snapshot)
+		return store, nil
+	}
+	if demo {
+		m := workload.GenMap(workload.MapConfig{
+			Seed:  seed,
+			Towns: 12 * scale, Interior: 12 * scale, Roads: 30 * scale,
+		})
+		store := spatialdb.NewStore(m.Config.Universe, kind)
+		m.Populate(store)
+		log.Printf("generated demo map (seed %d, scale %d); parameters C=%v A=%v",
+			seed, scale, m.Country.BoundingBox(), m.Area.BoundingBox())
+		return store, nil
+	}
+	u, err := parseUniverse(universe)
+	if err != nil {
+		return nil, err
+	}
+	return spatialdb.NewStore(u, kind), nil
+}
+
+func parseUniverse(s string) (bbox.Box, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return bbox.Box{}, fmt.Errorf("universe: want x0,y0,x1,y1, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return bbox.Box{}, fmt.Errorf("universe: %w", err)
+		}
+		vals[i] = v
+	}
+	u := bbox.Rect(vals[0], vals[1], vals[2], vals[3])
+	if u.IsEmpty() {
+		return bbox.Box{}, fmt.Errorf("universe: empty box %q", s)
+	}
+	return u, nil
+}
+
+func parseIndex(name string) (spatialdb.IndexKind, error) {
+	for _, k := range []spatialdb.IndexKind{
+		spatialdb.Scan, spatialdb.RTree, spatialdb.PointRTree,
+		spatialdb.Grid, spatialdb.ZOrderIdx,
+	} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown index backend %q", name)
+}

@@ -1,0 +1,188 @@
+// Service: the §2 smuggler example end to end over HTTP against boolqd.
+//
+// The program starts an in-process boolqd server on a loopback socket,
+// uploads the generated smuggler map through the snapshot endpoint, and
+// then acts as a plain HTTP client: it POSTs the paper's query twice —
+// the first request parses and compiles, the second hits the plan cache —
+// verifies both answers against the in-process boolq.CompileAndRun, adds
+// a town through the CRUD API (which bumps the store epoch and
+// invalidates the cached plan), and prints the /stats counters after each
+// step. Run with:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	boolq "repro"
+	"repro/internal/server"
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+const queryText = `
+find T in towns, R in roads, B in states
+given C, A
+where A <= C; B <= C; R <= A | B | T;
+      R & A != 0; R & T != 0; T !<= C
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The server side: an empty store behind boolqd on a loopback port.
+	m := workload.GenMap(workload.MapConfig{Seed: 1991})
+	empty := spatialdb.NewStore(m.Config.Universe, spatialdb.RTree)
+	srv := server.New(empty, server.Options{Workers: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("boolqd serving on %s\n\n", base)
+
+	// Load the map through the snapshot endpoint, exactly as an operator
+	// would restore a saved store.
+	seed := spatialdb.NewStore(m.Config.Universe, spatialdb.RTree)
+	m.Populate(seed)
+	var snap bytes.Buffer
+	if err := seed.Save(&snap); err != nil {
+		return err
+	}
+	var loaded struct {
+		Layers map[string]int `json:"layers"`
+	}
+	if err := post(base+"/snapshot", snap.Bytes(), &loaded); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot loaded: %v\n\n", loaded.Layers)
+
+	// The query, twice: cold then cached.
+	params := map[string]any{
+		"C": regionJSON(m.Country),
+		"A": regionJSON(m.Area),
+	}
+	req, _ := json.Marshal(map[string]any{"query": queryText, "params": params})
+	var first, second queryResult
+	if err := post(base+"/query", req, &first); err != nil {
+		return err
+	}
+	fmt.Printf("first POST /query:  %d solutions, cached=%v, %dµs\n",
+		first.Count, first.Cached, first.ElapsedUS)
+	for i, s := range first.Solutions {
+		fmt.Printf("  %d. enter at %s, drive %s, staying inside %s\n",
+			i+1, s.Names[0], s.Names[1], s.Names[2])
+	}
+	if err := post(base+"/query", req, &second); err != nil {
+		return err
+	}
+	fmt.Printf("second POST /query: %d solutions, cached=%v, %dµs\n\n",
+		second.Count, second.Cached, second.ElapsedUS)
+
+	// Cross-check against the in-process library.
+	q, err := boolq.ParseQuery(queryText)
+	if err != nil {
+		return err
+	}
+	local, err := boolq.CompileAndRun(q, srv.Store(),
+		map[string]*boolq.Region{"C": m.Country, "A": m.Area})
+	if err != nil {
+		return err
+	}
+	if len(local.Solutions) != first.Count || first.Count != second.Count {
+		return fmt.Errorf("HTTP and library disagree: %d vs %d vs %d",
+			first.Count, second.Count, len(local.Solutions))
+	}
+	fmt.Printf("library cross-check: %d solutions ✓\n", len(local.Solutions))
+
+	// A mutation through the CRUD API invalidates the cached plan.
+	town := map[string]any{"boxes": []any{
+		map[string]any{"lo": []float64{95, 495}, "hi": []float64{105, 505}},
+	}}
+	townBody, _ := json.Marshal(town)
+	putReq, _ := http.NewRequest(http.MethodPut,
+		base+"/layers/towns/objects/new-border-town", bytes.NewReader(townBody))
+	resp, err := http.DefaultClient.Do(putReq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var third queryResult
+	if err := post(base+"/query", req, &third); err != nil {
+		return err
+	}
+	fmt.Printf("after PUT town:     %d solutions, cached=%v (epoch bumped)\n\n",
+		third.Count, third.Cached)
+
+	var stats struct {
+		Epoch uint64 `json:"epoch"`
+		Cache struct {
+			Hits, Misses uint64
+		} `json:"cache"`
+	}
+	if err := get(base+"/stats", &stats); err != nil {
+		return err
+	}
+	fmt.Println(strings.Repeat("-", 50))
+	fmt.Printf("epoch %d, plan cache: %d hits / %d misses\n",
+		stats.Epoch, stats.Cache.Hits, stats.Cache.Misses)
+	return nil
+}
+
+type queryResult struct {
+	Count     int  `json:"count"`
+	Cached    bool `json:"cached"`
+	ElapsedUS int  `json:"elapsed_us"`
+	Solutions []struct {
+		Names []string `json:"names"`
+	} `json:"solutions"`
+}
+
+func regionJSON(r *boolq.Region) any {
+	boxes := []any{}
+	for _, b := range r.Boxes() {
+		boxes = append(boxes, map[string]any{"lo": b.Lo, "hi": b.Hi})
+	}
+	return map[string]any{"boxes": boxes}
+}
+
+func post(url string, body []byte, out any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(url, resp, out)
+}
+
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(url, resp, out)
+}
+
+func decode(url string, resp *http.Response, out any) error {
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

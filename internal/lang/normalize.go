@@ -1,0 +1,50 @@
+package lang
+
+import "strings"
+
+// Normalize returns the canonical rendering of a query program: the token
+// stream re-serialized with uniform spacing, comments and line breaks
+// stripped. Two programs that lex to the same tokens normalize to the
+// same string, which makes the result a stable key for compiled-plan
+// caches (boolqd's plan cache keys on Normalize(src) plus the store
+// epoch). The input is not parsed beyond lexing, so a normalized key can
+// be computed even for programs that fail semantic checks; Parse errors
+// then surface on the cache miss path.
+func Normalize(src string) (string, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	prev := Token{Kind: TokEOF}
+	for i, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		if i > 0 && spaceBetween(prev, t) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+		prev = t
+	}
+	return b.String(), nil
+}
+
+// spaceBetween decides whether the canonical form separates two adjacent
+// tokens: punctuation hugs its operand (no space before , ; ) or after
+// ( ~, and a call-style ident( pair stays glued), everything else is
+// space-separated.
+func spaceBetween(prev, cur Token) bool {
+	switch cur.Kind {
+	case TokComma, TokSemi, TokRParen:
+		return false
+	}
+	switch prev.Kind {
+	case TokLParen, TokNot:
+		return false
+	}
+	if cur.Kind == TokLParen && prev.Kind == TokIdent {
+		return false
+	}
+	return true
+}

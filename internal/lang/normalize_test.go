@@ -1,0 +1,56 @@
+package lang
+
+import "testing"
+
+func TestNormalizeCanonical(t *testing.T) {
+	a := `find T in towns, R in roads
+given C   # the country
+where
+  T !<= C;
+  overlaps( R , T );
+  R <= (T | C)`
+	b := `find T in towns,R in roads given C where T !<= C;overlaps(R,T);R<=(T|C)`
+	na, err := Normalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Normalize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb {
+		t.Errorf("normal forms differ:\n  %q\n  %q", na, nb)
+	}
+	want := `find T in towns, R in roads given C where T !<= C; overlaps(R, T); R <= (T | C)`
+	if na != want {
+		t.Errorf("Normalize = %q, want %q", na, want)
+	}
+	// Normalization is idempotent.
+	again, err := Normalize(na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != na {
+		t.Errorf("not idempotent: %q -> %q", na, again)
+	}
+}
+
+func TestNormalizeDistinguishesQueries(t *testing.T) {
+	na, err := Normalize(`find T in towns given C where T <= C`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Normalize(`find T in towns given C where T !<= C`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na == nb {
+		t.Errorf("distinct queries normalized to the same key %q", na)
+	}
+}
+
+func TestNormalizeLexError(t *testing.T) {
+	if _, err := Normalize(`find T in towns where T $ C`); err == nil {
+		t.Error("expected lex error")
+	}
+}

@@ -1,10 +1,37 @@
 package query
 
 import (
+	"fmt"
+
 	"repro/internal/bbox"
 	"repro/internal/region"
 	"repro/internal/spatialdb"
 )
+
+// resolveLayers looks the step layers up without creating them. The
+// caller must hold the store's read guard. Per-run DB statistics are
+// accumulated from each SearchStats return value, so a run reports
+// exactly the index work it caused even when concurrent runs share a
+// layer (a shared-counter delta would mix their costs).
+func resolveLayers(store *spatialdb.Store, names []string) ([]*spatialdb.Layer, error) {
+	layers := make([]*spatialdb.Layer, len(names))
+	for i, name := range names {
+		l, ok := store.LayerIfExists(name)
+		if !ok {
+			return nil, fmt.Errorf("query: layer %q does not exist", name)
+		}
+		layers[i] = l
+	}
+	return layers, nil
+}
+
+func stepLayerNames(p *Plan) []string {
+	names := make([]string, len(p.Steps))
+	for i, sp := range p.Steps {
+		names[i] = sp.Layer
+	}
+	return names
+}
 
 // Run executes the compiled plan: parameters are bound, the ground
 // (parameter-only) residual is checked once, then solution tuples are
@@ -12,15 +39,24 @@ import (
 // Every complete tuple is verified against the original system in the
 // exact region algebra regardless of opts, so all configurations return
 // the same solutions.
+//
+// Run holds the store's read guard for the whole execution, so it is safe
+// to call from many goroutines while writers mutate the store through
+// Insert/Remove; a plan is immutable after Compile and may be reused (and
+// cached) across any number of concurrent Runs.
 func (p *Plan) Run(store *spatialdb.Store, params map[string]*region.Region, opts Options) (*Result, error) {
 	alg := region.NewAlgebra(store.Universe())
 	env, err := bindParams(p.Query, alg, params)
 	if err != nil {
 		return nil, err
 	}
+	store.RLock()
+	defer store.RUnlock()
+	layers, err := resolveLayers(store, stepLayerNames(p))
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{}
-	store.ResetStats()
-	defer func() { res.Stats.DB = store.TotalStats() }()
 
 	if p.Form.Unsat {
 		res.Stats.GroundFailed = true
@@ -55,7 +91,7 @@ func (p *Plan) Run(store *spatialdb.Store, params map[string]*region.Region, opt
 		}
 		sp := p.Steps[i]
 		step := p.Form.Steps[i]
-		layer := store.Layer(sp.Layer)
+		layer := layers[i]
 
 		consider := func(o spatialdb.Object) bool {
 			res.Stats.Candidates++
@@ -78,7 +114,7 @@ func (p *Plan) Run(store *spatialdb.Store, params map[string]*region.Region, opt
 			if !ok {
 				return // this prefix admits no extension
 			}
-			layer.Search(spec, consider)
+			res.Stats.DB.Add(layer.SearchStats(spec, consider))
 		} else {
 			layer.All(consider)
 		}

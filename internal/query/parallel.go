@@ -19,7 +19,9 @@ import (
 //
 // Safe because all shared state is read-only during execution: the plan,
 // the store's layers (Search is concurrency-safe) and the parameter
-// regions. Each worker owns its environment and tuple buffers.
+// regions. Each worker owns its environment and tuple buffers. Like Run,
+// RunParallel holds the store's read guard for the whole execution, so
+// concurrent writers cannot interleave with its range queries.
 func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Region, opts Options, workers int) (*Result, error) {
 	if workers <= 1 || len(p.Steps) == 0 {
 		res, err := p.Run(store, params, opts)
@@ -34,9 +36,13 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 	if err != nil {
 		return nil, err
 	}
+	store.RLock()
+	defer store.RUnlock()
+	layers, err := resolveLayers(store, stepLayerNames(p))
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{}
-	store.ResetStats()
-	defer func() { res.Stats.DB = store.TotalStats() }()
 
 	if p.Form.Unsat || !p.Form.Ground.Satisfied(alg, env) {
 		res.Stats.GroundFailed = true
@@ -72,9 +78,9 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 		if !ok {
 			return res, nil
 		}
-		store.Layer(sp.Layer).Search(spec, gather)
+		firstStats.DB.Add(layers[0].SearchStats(spec, gather))
 	} else {
-		store.Layer(sp.Layer).All(gather)
+		layers[0].All(gather)
 	}
 
 	// Stage 2: workers drain the candidate list.
@@ -106,7 +112,7 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 				tuple[0] = o
 				wenv[sp.Var] = o.Reg
 				wbox[sp.Var] = o.Box
-				p.runFrom(1, store, alg, wenv, wbox, tuple, opts, &wstats, &wsols)
+				p.runFrom(1, k, layers, alg, wenv, wbox, tuple, opts, &wstats, &wsols)
 				wenv[sp.Var] = nil
 				wbox[sp.Var] = bbox.Box{}
 			}
@@ -122,8 +128,9 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 }
 
 // runFrom is the serial recursion from step i, writing into caller-owned
-// buffers (shared-nothing between workers).
-func (p *Plan) runFrom(i int, store *spatialdb.Store, alg *region.Algebra,
+// buffers (shared-nothing between workers). The caller holds the store's
+// read guard; layers carries the pre-resolved step layers.
+func (p *Plan) runFrom(i, k int, layers []*spatialdb.Layer, alg *region.Algebra,
 	env []boolalg.Element, envBox []bbox.Box, tuple []spatialdb.Object,
 	opts Options, stats *Stats, sols *[]Solution) {
 	if i == len(p.Steps) {
@@ -149,19 +156,19 @@ func (p *Plan) runFrom(i int, store *spatialdb.Store, alg *region.Algebra,
 		tuple[i] = o
 		env[sp.Var] = o.Reg
 		envBox[sp.Var] = o.Box
-		p.runFrom(i+1, store, alg, env, envBox, tuple, opts, stats, sols)
+		p.runFrom(i+1, k, layers, alg, env, envBox, tuple, opts, stats, sols)
 		env[sp.Var] = nil
 		envBox[sp.Var] = bbox.Box{}
 		return true
 	}
 	if opts.UseIndex {
-		spec, ok := sp.Spec(store.K(), envBox)
+		spec, ok := sp.Spec(k, envBox)
 		if !ok {
 			return
 		}
-		store.Layer(sp.Layer).Search(spec, consider)
+		stats.DB.Add(layers[i].SearchStats(spec, consider))
 	} else {
-		store.Layer(sp.Layer).All(consider)
+		layers[i].All(consider)
 	}
 }
 
@@ -172,6 +179,7 @@ func mergeStats(dst *Stats, src Stats) {
 	dst.FinalChecked += src.FinalChecked
 	dst.FinalRejected += src.FinalRejected
 	dst.Solutions += src.Solutions
+	dst.DB.Add(src.DB)
 }
 
 // sortSolutions orders tuples by their object ids, a canonical order

@@ -34,6 +34,17 @@ func SuggestOrder(q *Query, store *spatialdb.Store) *Query {
 		bound[p] = true
 	}
 
+	// Layer sizes, read once under the guard (and without store.Layer,
+	// which would create layers the query merely names).
+	sizes := make([]int, len(q.Retrieve))
+	store.RLock()
+	for i, b := range q.Retrieve {
+		if l, ok := store.LayerIfExists(b.Layer); ok {
+			sizes[i] = l.Len()
+		}
+	}
+	store.RUnlock()
+
 	remaining := make([]int, len(ids)) // indices into q.Retrieve
 	for i := range remaining {
 		remaining[i] = i
@@ -44,7 +55,7 @@ func SuggestOrder(q *Query, store *spatialdb.Store) *Query {
 		for pos, ri := range remaining {
 			v := ids[ri]
 			conn := connectivity(q, v, bound)
-			size := store.Layer(q.Retrieve[ri].Layer).Len()
+			size := sizes[ri]
 			better := conn > bestConn ||
 				(conn == bestConn && size < bestSize) ||
 				(conn == bestConn && size == bestSize && bestPos > pos)
@@ -146,6 +157,14 @@ func estimateCost(q *Query, store *spatialdb.Store, alg *region.Algebra, baseEnv
 	if plan.Form.Unsat || !plan.Form.Ground.Satisfied(alg, baseEnv) {
 		return 0, nil
 	}
+	// Sample under the read guard so concurrent writers cannot interleave
+	// with the fanout measurements.
+	store.RLock()
+	defer store.RUnlock()
+	layers, err := resolveLayers(store, stepLayerNames(plan))
+	if err != nil {
+		return 0, err
+	}
 	k := store.K()
 
 	type prefix struct {
@@ -171,7 +190,7 @@ func estimateCost(q *Query, store *spatialdb.Store, alg *region.Algebra, baseEnv
 			if !ok {
 				continue
 			}
-			store.Layer(sp.Layer).Search(spec, func(o spatialdb.Object) bool {
+			layers[i].Search(spec, func(o spatialdb.Object) bool {
 				if !step.Satisfied(alg, pre.env, o.Reg) {
 					return true
 				}

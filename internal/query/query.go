@@ -108,13 +108,24 @@ type Result struct {
 // RunNaive executes the query with no optimization at all: it enumerates
 // the full cross product of the bound layers and checks the original
 // system on each complete tuple. This is the baseline the paper's
-// optimization is measured against (experiment E6).
+// optimization is measured against (experiment E6). Like Plan.Run it
+// holds the store's read guard for the whole execution.
 func RunNaive(q *Query, store *spatialdb.Store, params map[string]*region.Region) (*Result, error) {
 	if err := validate(q, store); err != nil {
 		return nil, err
 	}
 	alg := region.NewAlgebra(store.Universe())
 	env, err := bindParams(q, alg, params)
+	if err != nil {
+		return nil, err
+	}
+	store.RLock()
+	defer store.RUnlock()
+	names := make([]string, len(q.Retrieve))
+	for i, b := range q.Retrieve {
+		names[i] = b.Layer
+	}
+	layers, err := resolveLayers(store, names)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +145,7 @@ func RunNaive(q *Query, store *spatialdb.Store, params map[string]*region.Region
 			return
 		}
 		v, _ := q.Sys.Vars.Lookup(q.Retrieve[i].Var)
-		store.Layer(q.Retrieve[i].Layer).All(func(o spatialdb.Object) bool {
+		layers[i].All(func(o spatialdb.Object) bool {
 			res.Stats.Candidates++
 			tuple[i] = o
 			env[v] = o.Reg

@@ -1,0 +1,165 @@
+// JSON wire types for boolqd. Boxes travel as {"lo": [...], "hi": [...]}
+// (the same shape persist.go snapshots use), regions as box unions, and
+// query results as name/id tuples plus the executor statistics, so a
+// client can check the paper's pruning claims over the wire.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/bbox"
+	"repro/internal/query"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+type jsonBox struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+func toJSONBox(b bbox.Box) jsonBox {
+	return jsonBox{
+		Lo: append([]float64(nil), b.Lo...),
+		Hi: append([]float64(nil), b.Hi...),
+	}
+}
+
+// jsonRegion is a rectilinear region as a union of boxes.
+type jsonRegion struct {
+	Boxes []jsonBox `json:"boxes"`
+}
+
+func toJSONRegion(r *region.Region) jsonRegion {
+	jr := jsonRegion{Boxes: []jsonBox{}}
+	for _, b := range r.Boxes() {
+		jr.Boxes = append(jr.Boxes, toJSONBox(b))
+	}
+	return jr
+}
+
+// toRegion validates and converts a wire region of dimensionality k.
+func (jr jsonRegion) toRegion(k int) (*region.Region, error) {
+	boxes := make([]bbox.Box, 0, len(jr.Boxes))
+	for i, jb := range jr.Boxes {
+		if len(jb.Lo) != k || len(jb.Hi) != k {
+			return nil, fmt.Errorf("box %d: want %d-dimensional lo/hi, got %d/%d",
+				i, k, len(jb.Lo), len(jb.Hi))
+		}
+		b, err := bbox.Make(jb.Lo, jb.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("box %d: %w", i, err)
+		}
+		boxes = append(boxes, b)
+	}
+	return region.FromBoxes(k, boxes...), nil
+}
+
+// objectResponse is the GET/PUT representation of one stored object.
+type objectResponse struct {
+	Layer string    `json:"layer"`
+	Name  string    `json:"name"`
+	ID    int64     `json:"id"`
+	Boxes []jsonBox `json:"boxes,omitempty"`
+	Box   jsonBox   `json:"box"`
+	Epoch uint64    `json:"epoch"`
+}
+
+func toObjectResponse(layer string, o spatialdb.Object, epoch uint64, withBoxes bool) objectResponse {
+	resp := objectResponse{
+		Layer: layer,
+		Name:  o.Name,
+		ID:    o.ID,
+		Box:   toJSONBox(o.Box),
+		Epoch: epoch,
+	}
+	if withBoxes {
+		resp.Boxes = toJSONRegion(o.Reg).Boxes
+	}
+	return resp
+}
+
+// layerInfo is one row of the GET /layers listing.
+type layerInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Objects int    `json:"objects"`
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Query   string                `json:"query"`
+	Params  map[string]jsonRegion `json:"params,omitempty"`
+	Workers int                   `json:"workers,omitempty"`
+	Naive   bool                  `json:"naive,omitempty"`   // run the unoptimized baseline instead
+	Explain bool                  `json:"explain,omitempty"` // include the compiled plan text
+	NoIndex bool                  `json:"no_index,omitempty"`
+	NoExact bool                  `json:"no_exact,omitempty"`
+}
+
+// solutionJSON is one result tuple, in retrieval order.
+type solutionJSON struct {
+	Names []string `json:"names"`
+	IDs   []int64  `json:"ids"`
+}
+
+func toSolutionJSON(s query.Solution) solutionJSON {
+	out := solutionJSON{}
+	for _, o := range s.Objects {
+		out.Names = append(out.Names, o.Name)
+		out.IDs = append(out.IDs, o.ID)
+	}
+	return out
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Solutions []solutionJSON `json:"solutions"`
+	Count     int            `json:"count"`
+	Cached    bool           `json:"cached"` // answered from the plan cache
+	Naive     bool           `json:"naive,omitempty"`
+	Epoch     uint64         `json:"epoch"`
+	ElapsedUS int64          `json:"elapsed_us"`
+	Stats     query.Stats    `json:"stats"`
+	Plan      string         `json:"plan,omitempty"`
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	Epoch     uint64          `json:"epoch"`
+	Layers    map[string]int  `json:"layers"`
+	Cache     cacheStats      `json:"cache"`
+	Queries   counterGroup    `json:"queries"`
+	Mutations mutationStats   `json:"mutations"`
+	Snapshots snapshotStats   `json:"snapshots"`
+	DB        spatialdb.Stats `json:"db"`
+}
+
+type cacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+type counterGroup struct {
+	Total    int64 `json:"total"`
+	Errors   int64 `json:"errors"`
+	Naive    int64 `json:"naive"`
+	Compiles int64 `json:"compiles"`
+}
+
+type mutationStats struct {
+	Inserts int64 `json:"inserts"`
+	Deletes int64 `json:"deletes"`
+}
+
+type snapshotStats struct {
+	Saves int64 `json:"saves"`
+	Loads int64 `json:"loads"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

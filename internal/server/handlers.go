@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/lang"
+	"repro/internal/query"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+// maxBodyBytes bounds request bodies (regions, queries, snapshots).
+const maxBodyBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return err
+	}
+	return nil
+}
+
+// ---- layer CRUD ----
+
+// layerInfos snapshots every layer's name, kind and size under the
+// store's read guard.
+func layerInfos(store *spatialdb.Store) []layerInfo {
+	names := store.LayerNames()
+	infos := make([]layerInfo, 0, len(names))
+	store.RLock()
+	for _, name := range names {
+		if l, ok := store.LayerIfExists(name); ok {
+			infos = append(infos, layerInfo{Name: name, Kind: l.Kind().String(), Objects: l.Len()})
+		}
+	}
+	store.RUnlock()
+	return infos
+}
+
+// layerSizes is layerInfos reduced to name → object count.
+func layerSizes(store *spatialdb.Store) map[string]int {
+	infos := layerInfos(store)
+	out := make(map[string]int, len(infos))
+	for _, li := range infos {
+		out[li.Name] = li.Objects
+	}
+	return out
+}
+
+func (s *Server) handleListLayers(w http.ResponseWriter, _ *http.Request) {
+	store := s.Store()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"layers": layerInfos(store),
+		"epoch":  store.Epoch(),
+	})
+}
+
+func (s *Server) handleCreateLayer(w http.ResponseWriter, r *http.Request) {
+	store := s.Store()
+	name := r.PathValue("layer")
+	l, created := store.CreateLayer(name)
+	store.RLock()
+	info := layerInfo{Name: name, Kind: l.Kind().String(), Objects: l.Len()}
+	store.RUnlock()
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
+	store := s.Store()
+	layer, name := r.PathValue("layer"), r.PathValue("name")
+	var jr jsonRegion
+	if decodeBody(w, r, &jr) != nil {
+		return
+	}
+	reg, err := jr.toRegion(store.K())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "region: %v", err)
+		return
+	}
+	if reg.IsEmpty() {
+		// Upsert would reject this too, but with a less pointed message.
+		writeError(w, http.StatusBadRequest, "region: empty (no boxes with positive volume)")
+		return
+	}
+	if !store.Universe().Contains(reg.BoundingBox()) {
+		// Enforced uniformly here: some index backends would reject this
+		// themselves while others would accept it and then give the object
+		// universe-relative complement semantics — backend-dependent query
+		// answers either way.
+		writeError(w, http.StatusBadRequest, "region: bounding box %v outside the store universe %v",
+			reg.BoundingBox(), store.Universe())
+		return
+	}
+	o, replaced, err := store.Upsert(layer, name, reg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "upserting %s/%s: %v", layer, name, err)
+		return
+	}
+	s.metrics.Inserts.Add(1)
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, toObjectResponse(layer, o, store.Epoch(), false))
+}
+
+func (s *Server) handleGetObject(w http.ResponseWriter, r *http.Request) {
+	store := s.Store()
+	layer, name := r.PathValue("layer"), r.PathValue("name")
+	store.RLock()
+	l, ok := store.LayerIfExists(layer)
+	var o spatialdb.Object
+	if ok {
+		o, ok = l.GetByName(name)
+	}
+	var resp objectResponse
+	if ok {
+		resp = toObjectResponse(layer, o, store.Epoch(), true)
+	}
+	store.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no object %q in layer %q", name, layer)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
+	store := s.Store()
+	layer, name := r.PathValue("layer"), r.PathValue("name")
+	ok, err := store.Remove(layer, name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "deleting %s/%s: %v", layer, name, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no object %q in layer %q", name, layer)
+		return
+	}
+	s.metrics.Deletes.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"deleted": true,
+		"epoch":   store.Epoch(),
+	})
+}
+
+// ---- query execution ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.QueriesTotal.Add(1)
+	var req queryRequest
+	if decodeBody(w, r, &req) != nil {
+		s.metrics.QueryErrors.Add(1)
+		return
+	}
+	resp, status, err := s.runQuery(&req)
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) runQuery(req *queryRequest) (*queryResponse, int, error) {
+	store, gen := s.storeAndGen()
+	normalized, err := lang.Normalize(req.Query)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	params := make(map[string]*region.Region, len(req.Params))
+	for name, jr := range req.Params {
+		reg, err := jr.toRegion(store.K())
+		if err != nil {
+			return nil, http.StatusBadRequest, errors.New("parameter " + name + ": " + err.Error())
+		}
+		params[name] = reg
+	}
+	start := time.Now()
+
+	if req.Naive {
+		s.metrics.QueriesNaive.Add(1)
+		q, err := lang.Parse(normalized)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		res, err := query.RunNaive(q, store, params)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return buildQueryResponse(res, nil, req, false, store.Epoch(), start), http.StatusOK, nil
+	}
+
+	// The plan cache: hit ⇒ skip Parse/Compile entirely. The epoch is read
+	// before the lookup; a mutation racing with this request at worst
+	// recompiles on the next request, never serves wrong plans (compiled
+	// plans are immutable and execution takes the store's read guard).
+	epoch := store.Epoch()
+	plan, hit := s.cache.Get(normalized, gen, epoch)
+	if !hit {
+		q, err := lang.Parse(normalized)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if plan, err = query.Compile(q, store); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		s.metrics.PlanCompiles.Add(1)
+		s.cache.Put(normalized, gen, epoch, plan)
+	}
+
+	opts := query.Options{UseIndex: !req.NoIndex, UseExact: !req.NoExact}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.workers
+	}
+	res, err := plan.RunParallel(store, params, opts, workers)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return buildQueryResponse(res, plan, req, hit, epoch, start), http.StatusOK, nil
+}
+
+func buildQueryResponse(res *query.Result, plan *query.Plan, req *queryRequest,
+	cached bool, epoch uint64, start time.Time) *queryResponse {
+	resp := &queryResponse{
+		Solutions: []solutionJSON{},
+		Count:     len(res.Solutions),
+		Cached:    cached,
+		Naive:     req.Naive,
+		Epoch:     epoch,
+		ElapsedUS: time.Since(start).Microseconds(),
+		Stats:     res.Stats,
+	}
+	for _, sol := range res.Solutions {
+		resp.Solutions = append(resp.Solutions, toSolutionJSON(sol))
+	}
+	if req.Explain && plan != nil {
+		resp.Plan = plan.Explain()
+	}
+	return resp
+}
+
+// ---- stats, snapshots, metrics ----
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	store := s.Store()
+	mt := s.metrics
+	writeJSON(w, http.StatusOK, statsResponse{
+		Epoch:  store.Epoch(),
+		Layers: layerSizes(store),
+		Cache: cacheStats{
+			Hits:     s.cache.Hits(),
+			Misses:   s.cache.Misses(),
+			Entries:  s.cache.Len(),
+			Capacity: s.cache.Cap(),
+		},
+		Queries: counterGroup{
+			Total:    mt.QueriesTotal.Value(),
+			Errors:   mt.QueryErrors.Value(),
+			Naive:    mt.QueriesNaive.Value(),
+			Compiles: mt.PlanCompiles.Value(),
+		},
+		Mutations: mutationStats{Inserts: mt.Inserts.Value(), Deletes: mt.Deletes.Value()},
+		Snapshots: snapshotStats{Saves: mt.SnapshotSaves.Value(), Loads: mt.SnapshotLoads.Value()},
+		DB:        store.TotalStats(),
+	})
+}
+
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, _ *http.Request) {
+	// Serialize into memory first: Save holds the store's read guard, and
+	// streaming straight to a slow client would pin it (stalling every
+	// writer, and behind the blocked writer every other reader).
+	var buf bytes.Buffer
+	if err := s.Store().Save(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "saving snapshot: %v", err)
+		return
+	}
+	s.metrics.SnapshotSaves.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
+	old := s.Store()
+	store, err := spatialdb.Load(http.MaxBytesReader(w, r.Body, maxBodyBytes), old.Kind())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "loading snapshot: %v", err)
+		return
+	}
+	s.swapStore(store)
+	s.metrics.SnapshotLoads.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"loaded": true,
+		"layers": layerSizes(store),
+		"epoch":  store.Epoch(),
+	})
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(s.vars.String()))
+	_, _ = w.Write([]byte("\n"))
+}

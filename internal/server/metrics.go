@@ -1,0 +1,45 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+)
+
+// Metrics holds boolqd's service-level counters as expvar vars. The vars
+// are created unpublished so tests can run many servers in one process;
+// the first server constructed additionally publishes its map in the
+// process-wide expvar registry under "boolqd", and every server serves
+// its own map at GET /debug/vars.
+type Metrics struct {
+	QueriesTotal  expvar.Int
+	QueryErrors   expvar.Int
+	QueriesNaive  expvar.Int
+	PlanCompiles  expvar.Int
+	Inserts       expvar.Int
+	Deletes       expvar.Int
+	SnapshotSaves expvar.Int
+	SnapshotLoads expvar.Int
+}
+
+var publishOnce sync.Once
+
+// expvarMap assembles the published view: the raw counters plus live
+// gauges (cache hits/misses/entries and the store epoch) computed from
+// the server at read time.
+func (s *Server) expvarMap() *expvar.Map {
+	m := new(expvar.Map).Init()
+	mt := s.metrics
+	m.Set("queries_total", &mt.QueriesTotal)
+	m.Set("query_errors", &mt.QueryErrors)
+	m.Set("queries_naive", &mt.QueriesNaive)
+	m.Set("plan_compiles", &mt.PlanCompiles)
+	m.Set("inserts", &mt.Inserts)
+	m.Set("deletes", &mt.Deletes)
+	m.Set("snapshot_saves", &mt.SnapshotSaves)
+	m.Set("snapshot_loads", &mt.SnapshotLoads)
+	m.Set("plan_cache_hits", expvar.Func(func() any { return s.cache.Hits() }))
+	m.Set("plan_cache_misses", expvar.Func(func() any { return s.cache.Misses() }))
+	m.Set("plan_cache_entries", expvar.Func(func() any { return s.cache.Len() }))
+	m.Set("store_epoch", expvar.Func(func() any { return s.Store().Epoch() }))
+	return m
+}

@@ -1,0 +1,142 @@
+// Package server implements boolqd, an HTTP/JSON query service over a
+// spatialdb.Store: the serving layer that turns the PODS'91 pipeline
+// from an in-process library into a concurrent network service.
+//
+// Endpoints:
+//
+//	PUT    /layers/{layer}                      create an empty layer
+//	GET    /layers                              list layers
+//	PUT    /layers/{layer}/objects/{name}       upsert an object (region JSON)
+//	GET    /layers/{layer}/objects/{name}       fetch an object
+//	DELETE /layers/{layer}/objects/{name}       delete an object
+//	POST   /query                               run a textual query
+//	GET    /stats                               service + store statistics
+//	GET    /snapshot                            save the store as JSON
+//	POST   /snapshot                            replace the store from JSON
+//	GET    /debug/vars                          expvar metrics
+//	GET    /healthz                             liveness probe
+//
+// Queries are compiled through an LRU plan cache keyed by the normalized
+// query text (lang.Normalize) and the store epoch: repeated queries skip
+// Parse/Compile and execute the cached Plan directly, and any mutation
+// (insert, delete, layer creation) bumps the epoch, invalidating every
+// cached plan. Reads and writes may be issued concurrently: plan
+// execution holds the store's read guard, mutations its write lock.
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/spatialdb"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize is the plan-cache capacity (plans). ≤ 0 means
+	// DefaultCacheSize.
+	CacheSize int
+	// Workers is the default parallelism for POST /query when the request
+	// does not set its own (≤ 1 means serial execution).
+	Workers int
+}
+
+// Server is the boolqd HTTP service over one spatial store.
+type Server struct {
+	mu      sync.RWMutex // guards store and gen: POST /snapshot swaps them
+	store   *spatialdb.Store
+	gen     uint64 // store generation, bumped on every swap
+	cache   *PlanCache
+	metrics *Metrics
+	vars    *expvar.Map
+	workers int
+	mux     *http.ServeMux
+}
+
+// New returns a server over the given store.
+func New(store *spatialdb.Store, opts Options) *Server {
+	s := &Server{
+		store:   store,
+		cache:   NewPlanCache(opts.CacheSize),
+		metrics: &Metrics{},
+		workers: opts.Workers,
+	}
+	s.vars = s.expvarMap()
+	publishOnce.Do(func() { expvar.Publish("boolqd", s.vars) })
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Store returns the current backing store (it changes on snapshot load).
+func (s *Server) Store() *spatialdb.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store
+}
+
+// storeAndGen returns the store together with its generation as one
+// consistent pair — the generation tags plan-cache entries so a plan
+// compiled against one store can never be served against its successor.
+func (s *Server) storeAndGen() (*spatialdb.Store, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store, s.gen
+}
+
+// Cache returns the plan cache (exposed for stats and benchmarks).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// swapStore replaces the backing store and drops all cached plans, whose
+// epochs are meaningless against the new store. The generation bump
+// makes the drop safe against concurrent queries: an in-flight Put
+// tagged with the old generation can land after Clear, but no lookup
+// will ever match it again.
+func (s *Server) swapStore(store *spatialdb.Store) {
+	s.mu.Lock()
+	s.store = store
+	s.gen++
+	s.mu.Unlock()
+	s.cache.Clear()
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /layers", s.handleListLayers)
+	s.mux.HandleFunc("PUT /layers/{layer}", s.handleCreateLayer)
+	s.mux.HandleFunc("PUT /layers/{layer}/objects/{name}", s.handlePutObject)
+	s.mux.HandleFunc("GET /layers/{layer}/objects/{name}", s.handleGetObject)
+	s.mux.HandleFunc("DELETE /layers/{layer}/objects/{name}", s.handleDeleteObject)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshotSave)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotLoad)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are out; nothing useful to do on error
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}

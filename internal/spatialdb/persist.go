@@ -39,7 +39,11 @@ const snapshotVersion = 1
 
 // Save writes the store's contents as JSON. Object ids are not preserved
 // (they are assigned afresh on load); insertion order and names are.
+// Save holds the store's read guard, so it snapshots a consistent state
+// even while writers are active.
 func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap := snapshot{
 		Version:  snapshotVersion,
 		Universe: toSnapBox(s.universe),

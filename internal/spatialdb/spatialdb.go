@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bbox"
 	"repro/internal/gridfile"
@@ -93,32 +94,40 @@ func (s *Stats) Add(s2 Stats) {
 
 // Layer is a named collection of objects with an index.
 type Layer struct {
-	name  string
-	kind  IndexKind
-	k     int
-	objs  map[int64]Object
-	order []int64 // insertion order, for deterministic scans
-	rt    *rtree.Tree
-	grid  *gridfile.Grid
-	zx    *zorder.Index
+	name     string
+	kind     IndexKind
+	k        int
+	universe bbox.Box
+	objs     map[int64]Object
+	byName   map[string]int64 // latest object id per name, for CRUD by name
+	order    []int64          // insertion order, for deterministic scans
+	rt       *rtree.Tree
+	grid     *gridfile.Grid
+	zx       *zorder.Index
 
 	mu    sync.Mutex // guards stats: Search may run concurrently
 	stats Stats
 }
 
 func newLayer(name string, k int, kind IndexKind, universe bbox.Box) *Layer {
-	l := &Layer{name: name, kind: kind, k: k, objs: map[int64]Object{}}
-	switch kind {
-	case RTree:
-		l.rt = rtree.New(k)
-	case PointRTree:
-		l.rt = rtree.New(2 * k)
-	case Grid:
-		l.grid = gridfile.New(2*k, 16)
-	case ZOrderIdx:
-		l.zx = zorder.NewIndex(universe, 16)
-	}
+	l := &Layer{name: name, kind: kind, k: k, universe: universe,
+		objs: map[int64]Object{}, byName: map[string]int64{}}
+	l.resetIndex()
 	return l
+}
+
+// resetIndex discards and recreates the layer's index structure.
+func (l *Layer) resetIndex() {
+	switch l.kind {
+	case RTree:
+		l.rt = rtree.New(l.k)
+	case PointRTree:
+		l.rt = rtree.New(2 * l.k)
+	case Grid:
+		l.grid = gridfile.New(2*l.k, 16)
+	case ZOrderIdx:
+		l.zx = zorder.NewIndex(l.universe, 16)
+	}
 }
 
 // Name returns the layer name.
@@ -144,13 +153,24 @@ func (l *Layer) ResetStats() {
 	l.stats = Stats{}
 }
 
-// insert adds an object (id already assigned by the store).
+// insert adds an object (id already assigned by the store). The lookup
+// maps are committed only after the index accepts the object, so a
+// failed insert (e.g. a box outside a z-order index's universe) leaves
+// the layer unchanged.
 func (l *Layer) insert(o Object) error {
 	if o.Reg.IsEmpty() {
 		return fmt.Errorf("spatialdb: object %q has an empty region", o.Name)
 	}
+	if err := l.indexInsert(o); err != nil {
+		return err
+	}
 	l.objs[o.ID] = o
+	l.byName[o.Name] = o.ID
 	l.order = append(l.order, o.ID)
+	return nil
+}
+
+func (l *Layer) indexInsert(o Object) error {
 	switch l.kind {
 	case RTree:
 		return l.rt.Insert(o.Box, o.ID)
@@ -165,10 +185,55 @@ func (l *Layer) insert(o Object) error {
 	return nil
 }
 
+// remove deletes an object by id and rebuilds the index from the
+// survivors (the index backends have no dynamic delete; at serving scale
+// a rebuild per mutation is the simple, always-correct choice).
+func (l *Layer) remove(id int64) error {
+	o, ok := l.objs[id]
+	if !ok {
+		return fmt.Errorf("spatialdb: no object with id %d in layer %q", id, l.name)
+	}
+	delete(l.objs, id)
+	for i, oid := range l.order {
+		if oid == id {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+	if l.byName[o.Name] == id {
+		delete(l.byName, o.Name)
+		// Inserts allow duplicate names; repoint to the newest survivor
+		// with this name so it stays reachable (and removable) by name.
+		for i := len(l.order) - 1; i >= 0; i-- {
+			if surv := l.objs[l.order[i]]; surv.Name == o.Name {
+				l.byName[o.Name] = surv.ID
+				break
+			}
+		}
+	}
+	l.resetIndex()
+	for _, oid := range l.order {
+		if err := l.indexInsert(l.objs[oid]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Get returns an object by id.
 func (l *Layer) Get(id int64) (Object, bool) {
 	o, ok := l.objs[id]
 	return o, ok
+}
+
+// GetByName returns the most recently inserted object with the given
+// name.
+func (l *Layer) GetByName(name string) (Object, bool) {
+	id, ok := l.byName[name]
+	if !ok {
+		return Object{}, false
+	}
+	return l.Get(id)
 }
 
 // All visits all objects in insertion order.
@@ -194,6 +259,15 @@ func (l *Layer) Objects() []Object {
 // for concurrent use (the parallel executor issues range queries from
 // several goroutines).
 func (l *Layer) Search(spec bbox.RangeSpec, visit func(Object) bool) {
+	l.SearchStats(spec, visit)
+}
+
+// SearchStats is Search returning the cost of this one call (which is
+// also accumulated into the layer counters). The executors use it to
+// attribute index work to the requesting run exactly, even when many
+// runs share a layer concurrently — a shared-counter delta would mix
+// their costs.
+func (l *Layer) SearchStats(spec bbox.RangeSpec, visit func(Object) bool) Stats {
 	var ids []int64
 	scanned, touched := 0, 0
 	switch l.kind {
@@ -214,8 +288,9 @@ func (l *Layer) Search(spec bbox.RangeSpec, visit func(Object) bool) {
 	case PointRTree:
 		q, ok := spec.PointQuery()
 		if !ok {
-			l.addStats(Stats{Queries: 1})
-			return
+			s := Stats{Queries: 1}
+			l.addStats(s)
+			return s
 		}
 		touched = l.rt.SearchOverlap(q, func(e rtree.Entry) bool {
 			scanned++
@@ -225,8 +300,9 @@ func (l *Layer) Search(spec bbox.RangeSpec, visit func(Object) bool) {
 	case Grid:
 		q, ok := spec.PointQuery()
 		if !ok {
-			l.addStats(Stats{Queries: 1})
-			return
+			s := Stats{Queries: 1}
+			l.addStats(s)
+			return s
 		}
 		touched = l.grid.Search(q, func(_ []float64, id int64) bool {
 			scanned++
@@ -235,8 +311,9 @@ func (l *Layer) Search(spec bbox.RangeSpec, visit func(Object) bool) {
 		})
 	case ZOrderIdx:
 		if spec.Unsatisfiable() {
-			l.addStats(Stats{Queries: 1})
-			return
+			s := Stats{Queries: 1}
+			l.addStats(s)
+			return s
 		}
 		touched = l.zx.SearchOverlap(zorderFilter(spec), func(id int64) bool {
 			scanned++
@@ -254,12 +331,14 @@ func (l *Layer) Search(spec bbox.RangeSpec, visit func(Object) bool) {
 			matched = append(matched, id)
 		}
 	}
-	l.addStats(Stats{Queries: 1, Touched: touched, Scanned: scanned, Returned: len(matched)})
+	s := Stats{Queries: 1, Touched: touched, Scanned: scanned, Returned: len(matched)}
+	l.addStats(s)
 	for _, id := range matched {
 		if !visit(l.objs[id]) {
-			return
+			break
 		}
 	}
+	return s
 }
 
 func (l *Layer) addStats(s Stats) {
@@ -269,12 +348,23 @@ func (l *Layer) addStats(s Stats) {
 }
 
 // Store is a collection of layers over a shared universe.
+//
+// Concurrency: the store carries a readers–writer guard so that many
+// goroutines can execute compiled plans while others mutate layers. The
+// mutating entry points (Insert, Remove, layer creation, snapshot load)
+// take the write lock internally; plan execution in internal/query holds
+// the read lock for the whole run via RLock/RUnlock, giving each query a
+// consistent view of the data. Every mutation bumps a monotone epoch
+// counter, which cache layers use to invalidate compiled plans.
 type Store struct {
 	universe bbox.Box
 	kind     IndexKind
-	layers   map[string]*Layer
-	names    []string
-	nextID   int64
+
+	mu     sync.RWMutex // guards layers, names, nextID
+	epoch  atomic.Uint64
+	layers map[string]*Layer
+	names  []string
+	nextID int64
 }
 
 // NewStore returns an empty store; layers created through it use the given
@@ -292,36 +382,155 @@ func (s *Store) Universe() bbox.Box { return s.universe }
 // K returns the dimensionality.
 func (s *Store) K() int { return s.universe.K }
 
-// Layer returns (creating if needed) the named layer.
+// Kind returns the index backend layers are created with.
+func (s *Store) Kind() IndexKind { return s.kind }
+
+// Epoch returns the store's mutation counter. It increases monotonically
+// on every Insert, Remove and layer creation; compiled-plan caches key on
+// it to drop plans built against an older state.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// RLock acquires the store's read guard. Plan execution holds it for the
+// whole run so that concurrent mutations cannot interleave with a query's
+// range queries; any direct use of LayerIfExists or Layer.Search from
+// multiple goroutines must do the same.
+func (s *Store) RLock() { s.mu.RLock() }
+
+// RUnlock releases the read guard.
+func (s *Store) RUnlock() { s.mu.RUnlock() }
+
+// Layer returns (creating if needed) the named layer. Creation counts as
+// a mutation: it takes the write lock and bumps the epoch.
 func (s *Store) Layer(name string) *Layer {
-	if l, ok := s.layers[name]; ok {
+	s.mu.RLock()
+	l, ok := s.layers[name]
+	s.mu.RUnlock()
+	if ok {
 		return l
 	}
-	l := newLayer(name, s.universe.K, s.kind, s.universe)
-	s.layers[name] = l
-	s.names = append(s.names, name)
+	l, _ = s.CreateLayer(name)
 	return l
+}
+
+// CreateLayer ensures the named layer exists and reports whether this
+// call created it — atomically under the write lock, unlike a
+// HasLayer/Layer pair, so concurrent creators agree on who created it.
+func (s *Store) CreateLayer(name string) (*Layer, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.layers[name]; ok {
+		return l, false
+	}
+	l := s.ensureLayerLocked(name)
+	s.epoch.Add(1)
+	return l, true
+}
+
+// LayerIfExists returns the named layer without creating it. Unlike the
+// other accessors it does not take the store lock: it is meant for use
+// under an explicit RLock (the query executors resolve their step layers
+// through it while holding the read guard).
+func (s *Store) LayerIfExists(name string) (*Layer, bool) {
+	l, ok := s.layers[name]
+	return l, ok
 }
 
 // HasLayer reports whether the named layer exists.
 func (s *Store) HasLayer(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.layers[name]
 	return ok
 }
 
 // LayerNames returns layer names in creation order.
 func (s *Store) LayerNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return append([]string(nil), s.names...)
 }
 
-// Insert adds a named region to a layer and returns its object.
+// ensureLayerLocked returns the named layer, creating it if needed. The
+// caller must hold the write lock.
+func (s *Store) ensureLayerLocked(name string) *Layer {
+	l, ok := s.layers[name]
+	if !ok {
+		l = newLayer(name, s.universe.K, s.kind, s.universe)
+		s.layers[name] = l
+		s.names = append(s.names, name)
+	}
+	return l
+}
+
+// Insert adds a named region to a layer and returns its object. It is
+// safe for concurrent use; the epoch is bumped after the object is in
+// place.
 func (s *Store) Insert(layer, name string, r *region.Region) (Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.ensureLayerLocked(layer)
 	s.nextID++
 	o := Object{ID: s.nextID, Name: name, Reg: r, Box: r.BoundingBox()}
-	if err := s.Layer(layer).insert(o); err != nil {
+	if err := l.insert(o); err != nil {
 		return Object{}, err
 	}
+	s.epoch.Add(1)
 	return o, nil
+}
+
+// Upsert atomically replaces the named object in a layer: any existing
+// object with that name is removed and the new region inserted under one
+// write-lock acquisition, so concurrent upserts of the same name can
+// never leave duplicates and concurrent readers never observe the name
+// missing. The region is validated first — a failed upsert leaves the
+// old object untouched.
+func (s *Store) Upsert(layer, name string, r *region.Region) (Object, bool, error) {
+	if r.IsEmpty() {
+		return Object{}, false, fmt.Errorf("spatialdb: object %q has an empty region", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.ensureLayerLocked(layer)
+	replaced := false
+	var old Object
+	if prev, ok := l.GetByName(name); ok {
+		if err := l.remove(prev.ID); err != nil {
+			return Object{}, false, err
+		}
+		old, replaced = prev, true
+	}
+	s.nextID++
+	o := Object{ID: s.nextID, Name: name, Reg: r, Box: r.BoundingBox()}
+	if err := l.insert(o); err != nil {
+		if replaced {
+			// Roll the removal back; reinserting an object the index held
+			// a moment ago cannot fail.
+			_ = l.insert(old)
+		}
+		return Object{}, false, err
+	}
+	s.epoch.Add(1)
+	return o, replaced, nil
+}
+
+// Remove deletes the named object from a layer. It reports whether an
+// object with that name existed; removal bumps the epoch.
+func (s *Store) Remove(layer, name string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.layers[layer]
+	if !ok {
+		return false, nil
+	}
+	o, ok := l.GetByName(name)
+	if !ok {
+		return false, nil
+	}
+	if err := l.remove(o.ID); err != nil {
+		return false, err
+	}
+	s.epoch.Add(1)
+	return true, nil
 }
 
 // MustInsert is Insert that panics on error; for tests and generators
@@ -336,6 +545,8 @@ func (s *Store) MustInsert(layer, name string, r *region.Region) Object {
 
 // TotalStats sums the counters over all layers.
 func (s *Store) TotalStats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var t Stats
 	for _, name := range s.names {
 		t.Add(s.layers[name].Stats())
@@ -345,6 +556,8 @@ func (s *Store) TotalStats() Stats {
 
 // ResetStats clears all layers' counters.
 func (s *Store) ResetStats() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, name := range s.names {
 		s.layers[name].ResetStats()
 	}
