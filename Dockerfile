@@ -1,0 +1,21 @@
+# Multi-stage build: compile a static boolqd, ship it in a distroless
+# runtime image (no shell, no package manager, runs as nonroot).
+#
+#   docker build -t boolqd .
+#   docker run --rm -p 8080:8080 boolqd
+#
+# See the README's "Running in a container" section.
+
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/boolqd ./cmd/boolqd
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/boolqd /boolqd
+EXPOSE 8080
+ENTRYPOINT ["/boolqd"]
+# Serve the generated §2 demo map by default; override with e.g.
+#   docker run boolqd -snapshot /data/db.json
+CMD ["-demo"]

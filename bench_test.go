@@ -533,3 +533,53 @@ func BenchmarkServiceCompileOnly(b *testing.B) {
 		}
 	}
 }
+
+// ---- bulk ingestion: Store.BulkInsert vs per-object Insert ----
+
+// bulkBenchItems generates n disjoint-ish regions inside the default
+// 1000×1000 universe.
+func bulkBenchItems(n int) []spatialdb.BulkItem {
+	rng := workload.NewRNG(77)
+	items := make([]spatialdb.BulkItem, n)
+	for i := range items {
+		x, y := rng.Range(0, 980), rng.Range(0, 980)
+		items[i] = spatialdb.BulkItem{
+			Name: fmt.Sprintf("o%d", i),
+			Reg:  region.FromBox(bbox.Rect(x, y, x+rng.Range(1, 10), y+rng.Range(1, 10))),
+		}
+	}
+	return items
+}
+
+// BenchmarkBulkInsert contrasts loading an R-tree layer one object at a
+// time (n write-lock acquisitions, n Guttman insertions with quadratic
+// splits, n epoch bumps) against one Store.BulkInsert call (one lock
+// acquisition, one STR-packed build, one epoch bump).
+func BenchmarkBulkInsert(b *testing.B) {
+	universe := bbox.Rect(0, 0, 1000, 1000)
+	for _, n := range []int{1000, 10000} {
+		items := bulkBenchItems(n)
+		b.Run(fmt.Sprintf("looped-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store := spatialdb.NewStore(universe, spatialdb.RTree)
+				for _, it := range items {
+					if _, err := store.Insert("objs", it.Name, it.Reg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("bulk-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store := spatialdb.NewStore(universe, spatialdb.RTree)
+				rep, err := store.BulkInsert("objs", items, spatialdb.BulkAtomic)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Inserted != n {
+					b.Fatalf("inserted %d, want %d", rep.Inserted, n)
+				}
+			}
+		})
+	}
+}

@@ -13,10 +13,16 @@
 //	  "query": "find T in towns given C where T !<= C",
 //	  "params": {"C": {"boxes": [{"lo": [100,100], "hi": [900,900]}]}}
 //	}'
+//	curl -X POST localhost:8080/layers/towns/objects:bulk -d '[
+//	  {"name": "t1", "boxes": [{"lo": [10,10], "hi": [20,20]}]},
+//	  {"name": "t2", "boxes": [{"lo": [30,30], "hi": [40,40]}]}
+//	]'
 //	curl localhost:8080/stats
 //
-// See internal/server for the full endpoint list and DESIGN.md for how
-// the service layers over the library.
+// See docs/API.md for the full endpoint reference (including the bulk
+// ingestion and streaming batch-query endpoints), internal/server for
+// the implementation, and DESIGN.md for how the service layers over the
+// library.
 package main
 
 import (
@@ -53,6 +59,8 @@ func run() error {
 		snapshot  = flag.String("snapshot", "", "store snapshot to load at startup (JSON, see /snapshot)")
 		universe  = flag.String("universe", "0,0,1000,1000", "universe box x0,y0,x1,y1 when starting empty")
 		workers   = flag.Int("workers", 0, "default query parallelism (requests may override)")
+		batchWork = flag.Int("batch-workers", server.DefaultBatchWorkers,
+			"default /query/batch worker-pool size (requests may override)")
 		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "plan cache capacity")
 		demo      = flag.Bool("demo", false, "populate the generated §2 smuggler map instead of starting empty")
 		seed      = flag.Uint64("seed", 42, "demo map seed")
@@ -73,7 +81,9 @@ func run() error {
 		log.Printf("layer %q: %d objects (%s)", name, l.Len(), l.Kind())
 	}
 
-	srv := server.New(store, server.Options{CacheSize: *cacheSize, Workers: *workers})
+	srv := server.New(store, server.Options{
+		CacheSize: *cacheSize, Workers: *workers, BatchWorkers: *batchWork,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

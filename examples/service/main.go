@@ -6,8 +6,10 @@
 // the first request parses and compiles, the second hits the plan cache —
 // verifies both answers against the in-process boolq.CompileAndRun, adds
 // a town through the CRUD API (which bumps the store epoch and
-// invalidates the cached plan), and prints the /stats counters after each
-// step. Run with:
+// invalidates the cached plan), bulk-loads a batch of towns through
+// objects:bulk as NDJSON (one write-lock acquisition, one epoch bump for
+// the whole batch), fans three queries through the streaming /query/batch
+// endpoint, and prints the /stats counters at the end. Run with:
 //
 //	go run ./examples/service
 package main
@@ -129,18 +131,93 @@ func run() error {
 	fmt.Printf("after PUT town:     %d solutions, cached=%v (epoch bumped)\n\n",
 		third.Count, third.Cached)
 
+	// Bulk ingestion: a batch of far-corner towns as NDJSON. The store
+	// takes its write lock once and bumps the epoch once for the batch.
+	var nd bytes.Buffer
+	for i := 0; i < 40; i++ {
+		x, y := 900+float64(i%8)*10, 905+float64(i/8)*15
+		line, _ := json.Marshal(map[string]any{
+			"name":  fmt.Sprintf("outpost-%d", i),
+			"boxes": []any{map[string]any{"lo": []float64{x, y}, "hi": []float64{x + 4, y + 4}}},
+		})
+		nd.Write(line)
+		nd.WriteByte('\n')
+	}
+	resp, err = http.Post(base+"/layers/towns/objects:bulk", "application/x-ndjson", &nd)
+	if err != nil {
+		return err
+	}
+	var bulk struct {
+		Inserted int    `json:"inserted"`
+		Failed   int    `json:"failed"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	if err := decode(base+"/layers/towns/objects:bulk", resp, &bulk); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Printf("bulk NDJSON upload:  %d towns inserted, %d failed, epoch %d\n\n",
+		bulk.Inserted, bulk.Failed, bulk.Epoch)
+
+	// Batch execution: three queries through one request, results
+	// streamed back as NDJSON in completion order.
+	batchBody, _ := json.Marshal(map[string]any{
+		"queries": []any{
+			map[string]any{"query": queryText, "params": params},
+			map[string]any{"query": "find T in towns given C where T !<= C",
+				"params": map[string]any{"C": params["C"]}},
+			map[string]any{"query": "find R in roads given A where R & A != 0",
+				"params": map[string]any{"A": params["A"]}},
+		},
+	})
+	resp, err = http.Post(base+"/query/batch", "application/json", bytes.NewReader(batchBody))
+	if err != nil {
+		return err
+	}
+	fmt.Println("POST /query/batch (NDJSON stream):")
+	sc := json.NewDecoder(resp.Body)
+	for {
+		var line struct {
+			Index  int    `json:"index"`
+			Count  int    `json:"count"`
+			Cached bool   `json:"cached"`
+			Error  string `json:"error"`
+			Done   bool   `json:"done"`
+			Errors int    `json:"errors"`
+		}
+		if err := sc.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			resp.Body.Close()
+			return err
+		}
+		if line.Done {
+			fmt.Printf("  summary: %d errors\n\n", line.Errors)
+			break
+		}
+		if line.Error != "" {
+			fmt.Printf("  query %d: error: %s\n", line.Index, line.Error)
+			continue
+		}
+		fmt.Printf("  query %d: %d solutions (cached=%v)\n", line.Index, line.Count, line.Cached)
+	}
+	resp.Body.Close()
+
 	var stats struct {
 		Epoch uint64 `json:"epoch"`
 		Cache struct {
 			Hits, Misses uint64
 		} `json:"cache"`
+		Bulk struct {
+			Batches, Objects int64
+		} `json:"bulk"`
 	}
 	if err := get(base+"/stats", &stats); err != nil {
 		return err
 	}
 	fmt.Println(strings.Repeat("-", 50))
-	fmt.Printf("epoch %d, plan cache: %d hits / %d misses\n",
-		stats.Epoch, stats.Cache.Hits, stats.Cache.Misses)
+	fmt.Printf("epoch %d, plan cache: %d hits / %d misses, bulk: %d objects in %d batches\n",
+		stats.Epoch, stats.Cache.Hits, stats.Cache.Misses, stats.Bulk.Objects, stats.Bulk.Batches)
 	return nil
 }
 

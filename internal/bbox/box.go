@@ -9,6 +9,8 @@
 // containment). Queries combining box constraints of the forms ⌈x⌉ ⊑ a,
 // b ⊑ ⌈x⌉ and ⌈x⌉ ⊓ c ≠ ∅ are answered by a *single* range query on points
 // in 2k dimensions (Figure 3); see PointTransform and RangeSpec.
+//
+// DESIGN.md §2 ("Foundations") places this package in the module map; §1 sketches the compilation pipeline it serves.
 package bbox
 
 import (

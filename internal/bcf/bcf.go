@@ -12,6 +12,8 @@
 // Brown, Boolean Reasoning]: start from any sum-of-products form, repeatedly
 // add the consensus of pairs of terms and delete absorbed terms, until
 // fixpoint.
+//
+// DESIGN.md §2 ("Foundations") places this package in the module map; §1 sketches the compilation pipeline it serves.
 package bcf
 
 import (

@@ -6,6 +6,8 @@
 // for spatial databases — the (atomless) algebra of measurable subsets of
 // R^k. The query engine is generic over this interface; the spatial region
 // algebra in internal/region implements it for the spatial case.
+//
+// DESIGN.md §2 ("Foundations") places this package in the module map.
 package boolalg
 
 import "fmt"

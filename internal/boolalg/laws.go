@@ -10,6 +10,7 @@ type LawViolation struct {
 	Law string
 }
 
+// Error formats the violated law.
 func (v *LawViolation) Error() string {
 	return fmt.Sprintf("boolalg: law violated: %s", v.Law)
 }

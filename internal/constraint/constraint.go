@@ -18,6 +18,8 @@
 // with f ⊑ g ⇝ f∧¬g contributing to the single equation and f ⋢ g ⇝
 // f∧¬g ≠ 0 one disequation. The normal form is the input to Algorithm 1
 // (internal/triangular).
+//
+// DESIGN.md §2 ("Compilation") places this package in the module map; §1 sketches the pipeline stage it implements.
 package constraint
 
 import (

@@ -18,6 +18,8 @@
 // Formulas are immutable; all operations return new (possibly shared)
 // nodes. Constructors perform light constant folding so that, e.g.,
 // cofactoring yields trimmed formulas without a separate simplify pass.
+//
+// DESIGN.md §2 ("Foundations") places this package in the module map.
 package formula
 
 import (

@@ -1,0 +1,75 @@
+package gridfile
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bbox"
+)
+
+func randomPoints(n int, seed int64) ([][]float64, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	ids := make([]int64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+		ids[i] = int64(i)
+	}
+	return pts, ids
+}
+
+func collect(g *Grid, q bbox.Box) []int64 {
+	var out []int64
+	g.Search(q, func(_ []float64, id int64) bool {
+		out = append(out, id)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestBulkLoadMatchesLooped: a bulk-loaded grid answers searches exactly
+// like an insert-built one, with far fewer directory-rehashing splits.
+func TestBulkLoadMatchesLooped(t *testing.T) {
+	pts, ids := randomPoints(2000, 8)
+	looped := New(2, 8)
+	for i, p := range pts {
+		if err := looped.Insert(p, ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk, err := BulkLoad(2, 8, pts, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != looped.Len() {
+		t.Fatalf("Len = %d, want %d", bulk.Len(), looped.Len())
+	}
+	for _, q := range []bbox.Box{
+		bbox.Rect(0, 0, 100, 100), bbox.Rect(10, 10, 30, 30), bbox.Rect(55.5, 0, 60, 90),
+	} {
+		got, want := collect(bulk, q), collect(looped, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: %d ids, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %v: ids differ at %d", q, i)
+			}
+		}
+	}
+	if bulk.Splits() >= looped.Splits() {
+		t.Errorf("bulk load split %d times, looped %d — pre-seeded scales should split less",
+			bulk.Splits(), looped.Splits())
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := BulkLoad(2, 8, [][]float64{{1, 2}}, nil); err == nil {
+		t.Error("mismatched points/ids accepted")
+	}
+	if _, err := BulkLoad(2, 8, [][]float64{{1}}, []int64{1}); err == nil {
+		t.Error("wrong-dimension point accepted")
+	}
+}

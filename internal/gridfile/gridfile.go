@@ -11,10 +11,13 @@
 // scales on bucket overflow by a median cut in the most spread-out
 // dimension, rehashing affected points. Duplicate-heavy buckets that
 // cannot be cut are allowed to overflow (the classical fallback).
+//
+// DESIGN.md §2 ("Storage") places this package in the module map.
 package gridfile
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,6 +103,62 @@ func (g *Grid) Insert(p []float64, id int64) error {
 		g.splitBucket(key, b)
 	}
 	return nil
+}
+
+// BulkLoad builds a grid file over all points at once: the per-dimension
+// scales are pre-seeded with quantile cuts sized for the final point
+// count, so loading proceeds with few or no overflow splits — each split
+// rehashes the whole directory, which is what makes an insert loop into a
+// cold grid O(n²)-ish on adversarial orders. points and ids are parallel
+// slices; every point must be k-dimensional.
+func BulkLoad(k, bucketCap int, points [][]float64, ids []int64) (*Grid, error) {
+	if len(points) != len(ids) {
+		return nil, fmt.Errorf("gridfile: %d points but %d ids", len(points), len(ids))
+	}
+	g := New(k, bucketCap)
+	for i, p := range points {
+		if len(p) != k {
+			return nil, fmt.Errorf("gridfile: point %d dimension %d, grid dimension %d", i, len(p), k)
+		}
+	}
+	g.seedScales(points)
+	for i, p := range points {
+		if err := g.Insert(p, ids[i]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// seedScales installs quantile cut points sized so that, under a roughly
+// uniform spread, the directory has about one bucket's worth of points
+// per cell. Residual overflows are relieved by the normal split path.
+func (g *Grid) seedScales(points [][]float64) {
+	n := len(points)
+	if n <= g.cap {
+		return
+	}
+	cells := int(math.Ceil(math.Pow(float64(n)/float64(g.cap), 1/float64(g.k))))
+	if cells < 2 {
+		return
+	}
+	vals := make([]float64, n)
+	for d := 0; d < g.k; d++ {
+		for i, p := range points {
+			vals[i] = p[d]
+		}
+		sort.Float64s(vals)
+		var cuts []float64
+		for c := 1; c < cells; c++ {
+			v := vals[c*n/cells]
+			// Keep cuts strictly increasing and strictly above the minimum:
+			// a cut at or below the minimum bounds an empty cell.
+			if v > vals[0] && (len(cuts) == 0 || v > cuts[len(cuts)-1]) {
+				cuts = append(cuts, v)
+			}
+		}
+		g.scales[d] = cuts
+	}
 }
 
 // splitBucket refines the scales to relieve an overflowing bucket. If no

@@ -15,6 +15,8 @@
 // parentheses. Constraint operators are <= (containment), !<= (negated
 // containment), = and != (equality/disequality, desugared per §1), along
 // with the convenience forms `disjoint(f,g)` and `overlaps(f,g)`.
+//
+// DESIGN.md §2 ("Compilation") places this package in the module map.
 package lang
 
 import (
@@ -56,6 +58,7 @@ type Token struct {
 	Pos  int // byte offset
 }
 
+// String renders the token for error messages.
 func (t Token) String() string {
 	switch t.Kind {
 	case TokEOF:

@@ -20,6 +20,8 @@
 // solved-form filter. Final tuples are always verified against the
 // original system in the exact region algebra, so every execution mode
 // returns the same, sound solution set.
+//
+// DESIGN.md §2 ("Compilation") places this package in the module map; §3 describes the concurrency contract the executors uphold.
 package query
 
 import (

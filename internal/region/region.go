@@ -13,6 +13,8 @@
 //
 // The invariant throughout: a Region's boxes are pairwise interior-disjoint
 // and all have positive volume, so Measure is a plain sum.
+//
+// DESIGN.md §2 ("Foundations") places this package in the module map.
 package region
 
 import (

@@ -42,6 +42,26 @@ func BulkLoad(k int, entries []Entry, opts ...Option) (*Tree, error) {
 	return t, nil
 }
 
+// Entries returns every stored (box, id) entry in an unspecified order.
+// The returned boxes are shared with the tree and must not be modified.
+// Feeding the slice back into BulkLoad re-packs the tree's current
+// contents with STR.
+func (t *Tree) Entries() []Entry {
+	out := make([]Entry, 0, t.size)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			out = append(out, n.entries...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
 // packLeaves tiles the entries into fully packed leaf nodes.
 func packLeaves(t *Tree, entries []Entry) []*node {
 	boxes := make([]bbox.Box, len(entries))

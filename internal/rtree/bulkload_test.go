@@ -128,3 +128,37 @@ func TestBulkLoadFullyPackedLeaves(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEntriesRoundTrip: Entries returns every stored entry, and bulk-
+// loading them into a fresh tree preserves the contents.
+func TestEntriesRoundTrip(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 100; i++ {
+		x := float64(i % 10)
+		y := float64(i / 10)
+		if err := tr.Insert(rect(x, y, x+0.5, y+0.5), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Entries()
+	if len(got) != tr.Len() {
+		t.Fatalf("Entries returned %d, Len is %d", len(got), tr.Len())
+	}
+	seen := map[int64]bool{}
+	for _, e := range got {
+		seen[e.ID] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("Entries returned %d distinct ids, want 100", len(seen))
+	}
+	repacked, err := BulkLoad(2, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repacked.Len() != tr.Len() {
+		t.Fatalf("repacked Len = %d, want %d", repacked.Len(), tr.Len())
+	}
+	if err := repacked.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

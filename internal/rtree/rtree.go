@@ -8,6 +8,8 @@
 // least-enlargement descent; node splitting offers the quadratic (default)
 // and linear algorithms from the original paper. Deletion condenses the
 // tree and reinserts orphaned entries.
+//
+// DESIGN.md §2 ("Storage") places this package in the module map.
 package rtree
 
 import (

@@ -112,6 +112,58 @@ func toSolutionJSON(s query.Solution) solutionJSON {
 	return out
 }
 
+// bulkObject is one object of a POST /layers/{layer}/objects:bulk body
+// (an element of the JSON array, or one NDJSON line).
+type bulkObject struct {
+	Name  string    `json:"name"`
+	Boxes []jsonBox `json:"boxes"`
+}
+
+// bulkError reports one failed object of a bulk insert.
+type bulkError struct {
+	Index int    `json:"index"` // position in the uploaded batch
+	Name  string `json:"name,omitempty"`
+	Error string `json:"error"`
+}
+
+// bulkResponse is the POST /layers/{layer}/objects:bulk reply.
+type bulkResponse struct {
+	Layer    string      `json:"layer"`
+	Mode     string      `json:"mode"`
+	Received int         `json:"received"`
+	Inserted int         `json:"inserted"`
+	Failed   int         `json:"failed"`
+	Epoch    uint64      `json:"epoch"`
+	Errors   []bulkError `json:"errors,omitempty"`
+}
+
+// batchQueryRequest is the POST /query/batch body.
+type batchQueryRequest struct {
+	Queries []queryRequest `json:"queries"`
+	// Concurrency bounds the worker pool draining the batch (≤ 0 uses the
+	// server default; capped at MaxBatchConcurrency).
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// batchResultLine is one NDJSON line of the POST /query/batch reply: the
+// per-query result (or error) tagged with the query's position in the
+// batch. Lines are streamed in completion order, so clients must match
+// results by index, not by line number.
+type batchResultLine struct {
+	Index          int    `json:"index"`
+	Error          string `json:"error,omitempty"`
+	*queryResponse        // nil on error lines
+}
+
+// batchSummary is the final NDJSON line of a POST /query/batch reply.
+type batchSummary struct {
+	Done      bool   `json:"done"`
+	Queries   int    `json:"queries"`
+	Errors    int    `json:"errors"`
+	Epoch     uint64 `json:"epoch"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
 // queryResponse is the POST /query reply.
 type queryResponse struct {
 	Solutions []solutionJSON `json:"solutions"`
@@ -130,7 +182,9 @@ type statsResponse struct {
 	Layers    map[string]int  `json:"layers"`
 	Cache     cacheStats      `json:"cache"`
 	Queries   counterGroup    `json:"queries"`
+	Batch     batchStats      `json:"batch"`
 	Mutations mutationStats   `json:"mutations"`
+	Bulk      bulkStats       `json:"bulk"`
 	Snapshots snapshotStats   `json:"snapshots"`
 	DB        spatialdb.Stats `json:"db"`
 }
@@ -152,6 +206,18 @@ type counterGroup struct {
 type mutationStats struct {
 	Inserts int64 `json:"inserts"`
 	Deletes int64 `json:"deletes"`
+}
+
+// bulkStats counts POST /layers/{layer}/objects:bulk traffic.
+type bulkStats struct {
+	Batches int64 `json:"batches"` // bulk requests handled
+	Objects int64 `json:"objects"` // objects inserted by them
+}
+
+// batchStats counts POST /query/batch traffic.
+type batchStats struct {
+	Requests   int64 `json:"requests"`    // batch requests handled
+	QueriesRun int64 `json:"queries_run"` // individual queries they executed
 }
 
 type snapshotStats struct {

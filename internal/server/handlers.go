@@ -172,8 +172,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// runQuery executes one request against the current store.
 func (s *Server) runQuery(req *queryRequest) (*queryResponse, int, error) {
 	store, gen := s.storeAndGen()
+	return s.execQuery(store, gen, store.Epoch(), req)
+}
+
+// execQuery executes one request against a pinned (store, generation,
+// epoch) snapshot. The batch handler captures the snapshot once so every
+// query of a batch compiles and caches plans against the same plan
+// generation; the single-query handler passes the current one.
+func (s *Server) execQuery(store *spatialdb.Store, gen, epoch uint64, req *queryRequest) (*queryResponse, int, error) {
 	normalized, err := lang.Normalize(req.Query)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -201,11 +210,10 @@ func (s *Server) runQuery(req *queryRequest) (*queryResponse, int, error) {
 		return buildQueryResponse(res, nil, req, false, store.Epoch(), start), http.StatusOK, nil
 	}
 
-	// The plan cache: hit ⇒ skip Parse/Compile entirely. The epoch is read
-	// before the lookup; a mutation racing with this request at worst
+	// The plan cache: hit ⇒ skip Parse/Compile entirely. The epoch was
+	// read before the lookup; a mutation racing with this request at worst
 	// recompiles on the next request, never serves wrong plans (compiled
 	// plans are immutable and execution takes the store's read guard).
-	epoch := store.Epoch()
 	plan, hit := s.cache.Get(normalized, gen, epoch)
 	if !hit {
 		q, err := lang.Parse(normalized)
@@ -271,7 +279,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Naive:    mt.QueriesNaive.Value(),
 			Compiles: mt.PlanCompiles.Value(),
 		},
+		Batch: batchStats{
+			Requests:   mt.BatchRequests.Value(),
+			QueriesRun: mt.BatchQueries.Value(),
+		},
 		Mutations: mutationStats{Inserts: mt.Inserts.Value(), Deletes: mt.Deletes.Value()},
+		Bulk:      bulkStats{Batches: mt.BulkBatches.Value(), Objects: mt.BulkObjects.Value()},
 		Snapshots: snapshotStats{Saves: mt.SnapshotSaves.Value(), Loads: mt.SnapshotLoads.Value()},
 		DB:        store.TotalStats(),
 	})

@@ -19,6 +19,10 @@ type Metrics struct {
 	Deletes       expvar.Int
 	SnapshotSaves expvar.Int
 	SnapshotLoads expvar.Int
+	BulkBatches   expvar.Int // POST /layers/{layer}/objects:bulk requests
+	BulkObjects   expvar.Int // objects inserted by bulk requests
+	BatchRequests expvar.Int // POST /query/batch requests
+	BatchQueries  expvar.Int // individual queries run by batch requests
 }
 
 var publishOnce sync.Once
@@ -37,6 +41,10 @@ func (s *Server) expvarMap() *expvar.Map {
 	m.Set("deletes", &mt.Deletes)
 	m.Set("snapshot_saves", &mt.SnapshotSaves)
 	m.Set("snapshot_loads", &mt.SnapshotLoads)
+	m.Set("bulk_batches", &mt.BulkBatches)
+	m.Set("bulk_objects", &mt.BulkObjects)
+	m.Set("batch_requests", &mt.BatchRequests)
+	m.Set("batch_queries", &mt.BatchQueries)
 	m.Set("plan_cache_hits", expvar.Func(func() any { return s.cache.Hits() }))
 	m.Set("plan_cache_misses", expvar.Func(func() any { return s.cache.Misses() }))
 	m.Set("plan_cache_entries", expvar.Func(func() any { return s.cache.Len() }))

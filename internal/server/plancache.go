@@ -52,8 +52,12 @@ func NewPlanCache(capacity int) *PlanCache {
 }
 
 // Get returns the plan cached for the normalized text if it was compiled
-// at the given store generation and epoch. A stale entry is evicted and
-// counts as a miss.
+// at the given store generation and epoch. An entry from another
+// generation or an older epoch is evicted and counts as a miss. An entry
+// from a NEWER epoch also misses but is left in place: it happens when a
+// batch request pinned to a pre-mutation epoch races fresh single-query
+// traffic, and evicting would let the stale reader thrash entries the
+// live traffic keeps rebuilding.
 func (c *PlanCache) Get(text string, gen, epoch uint64) (*query.Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -64,8 +68,10 @@ func (c *PlanCache) Get(text string, gen, epoch uint64) (*query.Plan, bool) {
 	}
 	ent := e.Value.(*cacheEntry)
 	if ent.gen != gen || ent.epoch != epoch {
-		c.ll.Remove(e)
-		delete(c.m, text)
+		if ent.gen != gen || ent.epoch < epoch {
+			c.ll.Remove(e)
+			delete(c.m, text)
+		}
 		c.misses.Add(1)
 		return nil, false
 	}
@@ -75,12 +81,17 @@ func (c *PlanCache) Get(text string, gen, epoch uint64) (*query.Plan, bool) {
 }
 
 // Put stores a plan compiled at the given store generation and epoch,
-// evicting the least recently used entry when full.
+// evicting the least recently used entry when full. A plan compiled at
+// an older epoch than the entry already cached is dropped (the
+// stale-pinned batch case; see Get).
 func (c *PlanCache) Put(text string, gen, epoch uint64, plan *query.Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[text]; ok {
 		ent := e.Value.(*cacheEntry)
+		if ent.gen == gen && ent.epoch > epoch {
+			return
+		}
 		ent.gen, ent.epoch, ent.plan = gen, epoch, plan
 		c.ll.MoveToFront(e)
 		return

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestPlanCacheStaleReaderDoesNotThrash models a batch request pinned to
+// a pre-mutation epoch racing fresh single-query traffic: the stale
+// reader must neither evict nor overwrite the entry compiled at the
+// newer epoch, or the two would recompile the same text on every
+// request.
+func TestPlanCacheStaleReaderDoesNotThrash(t *testing.T) {
+	c := NewPlanCache(8)
+	fresh, stale := &query.Plan{}, &query.Plan{}
+	c.Put("q", 1, 10, fresh)
+
+	// A reader pinned at epoch 9 misses but leaves the epoch-10 entry.
+	if _, hit := c.Get("q", 1, 9); hit {
+		t.Fatal("stale epoch served a fresh plan")
+	}
+	if got, hit := c.Get("q", 1, 10); !hit || got != fresh {
+		t.Fatal("stale reader evicted the fresh entry")
+	}
+
+	// The stale reader's recompiled plan must not clobber the fresh one.
+	c.Put("q", 1, 9, stale)
+	if got, hit := c.Get("q", 1, 10); !hit || got != fresh {
+		t.Fatal("stale Put overwrote the fresh entry")
+	}
+
+	// An OLDER cached epoch is still evicted on lookup (the normal
+	// mutation-invalidates-plans path)...
+	if _, hit := c.Get("q", 1, 11); hit {
+		t.Fatal("newer epoch served an old plan")
+	}
+	if c.Len() != 0 {
+		t.Fatal("older entry not evicted")
+	}
+
+	// ...and a generation change always evicts, in either direction.
+	c.Put("q", 1, 10, fresh)
+	if _, hit := c.Get("q", 2, 10); hit {
+		t.Fatal("other generation served a plan")
+	}
+	if c.Len() != 0 {
+		t.Fatal("cross-generation entry not evicted")
+	}
+}

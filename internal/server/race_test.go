@@ -127,3 +127,113 @@ func TestConcurrentQueriesAndInserts(t *testing.T) {
 		t.Errorf("final epoch %d, want ≥ %d", got, writers*opsPerWorker)
 	}
 }
+
+// TestConcurrentBulkAndBatch drives the batch-shaped endpoints
+// concurrently: bulk inserters load disjoint object batches (mixed
+// atomic/best-effort) while batch-query clients stream NDJSON results.
+// Under -race this exercises the single-write-lock bulk path against the
+// pinned-generation batch executor.
+func TestConcurrentBulkAndBatch(t *testing.T) {
+	m := workload.GenMap(workload.MapConfig{Seed: 7})
+	store := spatialdb.NewStore(m.Config.Universe, spatialdb.RTree)
+	m.Populate(store)
+	s := New(store, Options{Workers: 2, BatchWorkers: 3})
+
+	const (
+		bulkWriters  = 3
+		batchReaders = 3
+		batches      = 8
+		objsPerBatch = 20
+	)
+	queryBody, err := json.Marshal(batchQueryRequest{
+		Queries:     []queryRequest{smugglerRequest(m), smugglerRequest(m), smugglerRequest(m)},
+		Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, bulkWriters+batchReaders)
+
+	for wr := 0; wr < bulkWriters; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				var objs []bulkObject
+				for i := 0; i < objsPerBatch; i++ {
+					// Far corner of the map: never changes the smuggler answer.
+					x := 900 + float64(wr)*30 + float64(i)
+					y := 960 + float64(b%4)*8
+					objs = append(objs, bulkObject{
+						Name:  fmt.Sprintf("blk-%d-%d-%d", wr, b, i),
+						Boxes: []jsonBox{{Lo: []float64{x, y}, Hi: []float64{x + 0.5, y + 0.5}}},
+					})
+				}
+				body, _ := json.Marshal(objs)
+				mode := ""
+				if b%2 == 1 {
+					mode = "?mode=best_effort"
+				}
+				req := httptest.NewRequest(http.MethodPost,
+					"/layers/cargo/objects:bulk"+mode, bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("bulk: status %d: %s", w.Code, w.Body.String())
+					return
+				}
+				var resp bulkResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					errs <- err
+					return
+				}
+				if resp.Inserted != objsPerBatch {
+					errs <- fmt.Errorf("bulk inserted %d, want %d", resp.Inserted, objsPerBatch)
+					return
+				}
+			}
+		}(wr)
+	}
+
+	for r := 0; r < batchReaders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader(queryBody))
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("batch: status %d: %s", w.Code, w.Body.String())
+					return
+				}
+				for _, line := range bytes.Split(bytes.TrimSpace(w.Body.Bytes()), []byte("\n")) {
+					var m map[string]any
+					if err := json.Unmarshal(line, &m); err != nil {
+						errs <- fmt.Errorf("batch: bad NDJSON line %q: %v", line, err)
+						return
+					}
+					if e, ok := m["error"]; ok {
+						errs <- fmt.Errorf("batch: query error: %v", e)
+						return
+					}
+					if c, ok := m["count"]; ok && c.(float64) == 0 {
+						errs <- fmt.Errorf("batch: query found no solutions")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Store().Layer("cargo").Len(); got != bulkWriters*batches*objsPerBatch {
+		t.Errorf("cargo layer has %d objects, want %d", got, bulkWriters*batches*objsPerBatch)
+	}
+}

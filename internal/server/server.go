@@ -9,12 +9,17 @@
 //	PUT    /layers/{layer}/objects/{name}       upsert an object (region JSON)
 //	GET    /layers/{layer}/objects/{name}       fetch an object
 //	DELETE /layers/{layer}/objects/{name}       delete an object
+//	POST   /layers/{layer}/objects:bulk         bulk-insert objects (JSON array or NDJSON)
 //	POST   /query                               run a textual query
+//	POST   /query/batch                         run many queries, streaming NDJSON results
 //	GET    /stats                               service + store statistics
 //	GET    /snapshot                            save the store as JSON
 //	POST   /snapshot                            replace the store from JSON
 //	GET    /debug/vars                          expvar metrics
 //	GET    /healthz                             liveness probe
+//
+// docs/API.md is the complete wire reference; DESIGN.md §3 describes the
+// concurrency model this package implements.
 //
 // Queries are compiled through an LRU plan cache keyed by the normalized
 // query text (lang.Normalize) and the store epoch: repeated queries skip
@@ -22,6 +27,15 @@
 // (insert, delete, layer creation) bumps the epoch, invalidating every
 // cached plan. Reads and writes may be issued concurrently: plan
 // execution holds the store's read guard, mutations its write lock.
+//
+// The batch-shaped entry points exist because the single-object paths are
+// where a production load falls over: objects:bulk takes the store's
+// write lock once per batch and engages the index backends' packed bulk
+// loaders (spatialdb.BulkLoader), and /query/batch compiles each distinct
+// query once through the plan cache against one (store, generation,
+// epoch) snapshot, fans execution across a bounded worker pool, and
+// streams one NDJSON result line per query so large result sets never
+// buffer server-side.
 package server
 
 import (
@@ -42,27 +56,37 @@ type Options struct {
 	// Workers is the default parallelism for POST /query when the request
 	// does not set its own (≤ 1 means serial execution).
 	Workers int
+	// BatchWorkers is the default worker-pool size for POST /query/batch
+	// when the request does not set its own concurrency (≤ 0 means
+	// DefaultBatchWorkers).
+	BatchWorkers int
 }
 
 // Server is the boolqd HTTP service over one spatial store.
 type Server struct {
-	mu      sync.RWMutex // guards store and gen: POST /snapshot swaps them
-	store   *spatialdb.Store
-	gen     uint64 // store generation, bumped on every swap
-	cache   *PlanCache
-	metrics *Metrics
-	vars    *expvar.Map
-	workers int
-	mux     *http.ServeMux
+	mu           sync.RWMutex // guards store and gen: POST /snapshot swaps them
+	store        *spatialdb.Store
+	gen          uint64 // store generation, bumped on every swap
+	cache        *PlanCache
+	metrics      *Metrics
+	vars         *expvar.Map
+	workers      int
+	batchWorkers int
+	mux          *http.ServeMux
 }
 
 // New returns a server over the given store.
 func New(store *spatialdb.Store, opts Options) *Server {
+	bw := opts.BatchWorkers
+	if bw <= 0 {
+		bw = DefaultBatchWorkers
+	}
 	s := &Server{
-		store:   store,
-		cache:   NewPlanCache(opts.CacheSize),
-		metrics: &Metrics{},
-		workers: opts.Workers,
+		store:        store,
+		cache:        NewPlanCache(opts.CacheSize),
+		metrics:      &Metrics{},
+		workers:      opts.Workers,
+		batchWorkers: bw,
 	}
 	s.vars = s.expvarMap()
 	publishOnce.Do(func() { expvar.Publish("boolqd", s.vars) })
@@ -117,7 +141,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("PUT /layers/{layer}/objects/{name}", s.handlePutObject)
 	s.mux.HandleFunc("GET /layers/{layer}/objects/{name}", s.handleGetObject)
 	s.mux.HandleFunc("DELETE /layers/{layer}/objects/{name}", s.handleDeleteObject)
+	s.mux.HandleFunc("POST /layers/{layer}/objects:bulk", s.handleBulkInsert)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshotSave)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotLoad)

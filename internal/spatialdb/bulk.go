@@ -1,0 +1,189 @@
+package spatialdb
+
+import (
+	"fmt"
+
+	"repro/internal/region"
+)
+
+// BulkMode selects the failure semantics of Store.BulkInsert.
+type BulkMode int
+
+// Bulk insertion modes.
+const (
+	// BulkAtomic inserts every object or none: an invalid object or an
+	// index rejection anywhere in the batch aborts it and leaves the
+	// store's objects unchanged (a layer created for the batch persists —
+	// it is idempotent metadata).
+	BulkAtomic BulkMode = iota
+	// BulkBestEffort inserts every insertable object and reports
+	// per-object errors for the rest.
+	BulkBestEffort
+)
+
+// String returns the wire name of the mode.
+func (m BulkMode) String() string {
+	if m == BulkBestEffort {
+		return "best_effort"
+	}
+	return "atomic"
+}
+
+// BulkItem is one object of a batch insert. As with Insert, duplicate
+// names are allowed; the batch's last occurrence wins name lookups.
+type BulkItem struct {
+	Name string
+	Reg  *region.Region
+}
+
+// BulkResult is the outcome for one BulkItem, in batch order. Object is
+// meaningful only when Err is nil and the batch (in atomic mode) was not
+// aborted by another item.
+type BulkResult struct {
+	Object Object
+	Err    error
+}
+
+// BulkReport summarizes one BulkInsert call.
+type BulkReport struct {
+	Results  []BulkResult // one per item, in batch order
+	Inserted int          // objects actually inserted
+	Epoch    uint64       // store epoch after the call
+}
+
+// BulkInsert adds a batch of named regions to a layer under ONE
+// write-lock acquisition, bumping the epoch once for the whole batch
+// instead of once per object. Backends implementing BulkLoader (R-tree
+// and point R-tree via STR packing, grid file via pre-seeded scales,
+// z-order via a single sorted build) rebuild their structure in one
+// packed pass over the existing and new objects; other backends fall
+// back to looped inserts.
+//
+// Validation (empty regions) happens before anything touches the index.
+// In BulkAtomic mode any invalid object or index rejection aborts the
+// batch with a non-nil error and rolls the index back to its pre-batch
+// contents. In BulkBestEffort mode every insertable object is inserted,
+// failures are reported per object in the report, and the error is nil.
+func (s *Store) BulkInsert(layer string, items []BulkItem, mode BulkMode) (BulkReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := BulkReport{Results: make([]BulkResult, len(items))}
+	_, existed := s.layers[layer]
+
+	// Validate first: empty regions never reach the index.
+	invalid := 0
+	for i, it := range items {
+		if it.Reg == nil || it.Reg.IsEmpty() {
+			rep.Results[i].Err = fmt.Errorf("spatialdb: object %q has an empty region", it.Name)
+			invalid++
+		}
+	}
+	if mode == BulkAtomic && invalid > 0 {
+		rep.Epoch = s.epoch.Load()
+		return rep, fmt.Errorf("spatialdb: bulk insert into %q: %d of %d objects invalid",
+			layer, invalid, len(items))
+	}
+
+	l := s.ensureLayerLocked(layer)
+
+	// Assign ids to the valid items and hand them to the layer as one
+	// batch. vidx maps batch-of-valid position back to the item index.
+	objs := make([]Object, 0, len(items)-invalid)
+	vidx := make([]int, 0, len(items)-invalid)
+	for i, it := range items {
+		if rep.Results[i].Err != nil {
+			continue
+		}
+		s.nextID++
+		o := Object{ID: s.nextID, Name: it.Name, Reg: it.Reg, Box: it.Reg.BoundingBox()}
+		rep.Results[i].Object = o
+		objs = append(objs, o)
+		vidx = append(vidx, i)
+	}
+	errs, err := l.bulkInsert(objs, mode == BulkAtomic)
+	for vi, e := range errs {
+		if e != nil {
+			rep.Results[vidx[vi]] = BulkResult{Err: e}
+		}
+	}
+	if err != nil {
+		// Atomic abort: nothing was inserted; clear the objects of items
+		// that were individually fine but rode in the aborted batch.
+		for i := range rep.Results {
+			if rep.Results[i].Err == nil {
+				rep.Results[i].Object = Object{}
+			}
+		}
+		if !existed {
+			s.epoch.Add(1) // the layer creation is a visible mutation
+		}
+		rep.Epoch = s.epoch.Load()
+		return rep, fmt.Errorf("spatialdb: bulk insert into %q: %w", layer, err)
+	}
+	for _, e := range errs {
+		if e == nil {
+			rep.Inserted++
+		}
+	}
+	if rep.Inserted > 0 || !existed {
+		s.epoch.Add(1)
+	}
+	rep.Epoch = s.epoch.Load()
+	return rep, nil
+}
+
+// bulkInsert adds objs (regions already validated non-empty, ids
+// assigned) to the layer. The returned slice parallels objs (nil entries
+// succeeded). In atomic mode either every object is inserted or none,
+// and the second return value carries the aborting error; otherwise
+// index-rejected objects are skipped and it is nil.
+//
+// The caller must hold the store's write lock.
+func (l *Layer) bulkInsert(objs []Object, atomic bool) ([]error, error) {
+	errs := make([]error, len(objs))
+	if len(objs) == 0 {
+		return errs, nil
+	}
+	// The packed path rebuilds the whole index (existing + new), so it
+	// only pays off when the batch is a sizable fraction of the layer;
+	// trickle batches into a big layer go through plain inserts instead
+	// of an O(layer) rebuild per call.
+	const bulkRebuildFraction = 4 // packed rebuild when new ≥ existing/4
+	if bl, ok := l.idx.(BulkLoader); ok && len(objs)*bulkRebuildFraction >= len(l.order) {
+		all := make([]Object, 0, len(l.order)+len(objs))
+		for _, id := range l.order {
+			all = append(all, l.objs[id])
+		}
+		all = append(all, objs...)
+		if err := bl.BulkLoad(all); err == nil {
+			for _, o := range objs {
+				l.commit(o)
+			}
+			return errs, nil
+		}
+		// The packed build failed (e.g. a box outside a z-order universe).
+		// The BulkLoader contract leaves the live index at its pre-batch
+		// contents, so fall through to looped inserts, which attribute the
+		// error to the exact object.
+	}
+	for i, o := range objs {
+		if err := l.idx.insert(o); err != nil {
+			errs[i] = err
+			if atomic {
+				// Roll back the objects inserted so far: the lookup maps
+				// are not yet committed, so a rebuild from l.order restores
+				// exactly the pre-batch index.
+				if rerr := l.rebuildIndex(); rerr != nil {
+					return errs, fmt.Errorf("object %q: %v (and rollback failed: %v)", o.Name, err, rerr)
+				}
+				return errs, fmt.Errorf("object %q: %w", o.Name, err)
+			}
+		}
+	}
+	for i, o := range objs {
+		if errs[i] == nil {
+			l.commit(o)
+		}
+	}
+	return errs, nil
+}

@@ -18,6 +18,12 @@
 //
 // All backends return exactly the objects whose bounding box matches the
 // spec; they differ only in cost, which Stats exposes to the experiments.
+// Backends sit behind the layerIndex interface (index.go); those that
+// also implement BulkLoader get the packed build path of Store.BulkInsert
+// (bulk.go) and of index rebuilds after deletions.
+//
+// DESIGN.md §2 ("Storage") places this package in the module map; §3
+// describes the locking and epoch protocol the store enforces.
 package spatialdb
 
 import (
@@ -27,10 +33,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bbox"
-	"repro/internal/gridfile"
 	"repro/internal/region"
-	"repro/internal/rtree"
-	"repro/internal/zorder"
 )
 
 // IndexKind selects a layer's index backend.
@@ -101,9 +104,7 @@ type Layer struct {
 	objs     map[int64]Object
 	byName   map[string]int64 // latest object id per name, for CRUD by name
 	order    []int64          // insertion order, for deterministic scans
-	rt       *rtree.Tree
-	grid     *gridfile.Grid
-	zx       *zorder.Index
+	idx      layerIndex       // the backend behind kind; see index.go
 
 	mu    sync.Mutex // guards stats: Search may run concurrently
 	stats Stats
@@ -118,16 +119,30 @@ func newLayer(name string, k int, kind IndexKind, universe bbox.Box) *Layer {
 
 // resetIndex discards and recreates the layer's index structure.
 func (l *Layer) resetIndex() {
-	switch l.kind {
-	case RTree:
-		l.rt = rtree.New(l.k)
-	case PointRTree:
-		l.rt = rtree.New(2 * l.k)
-	case Grid:
-		l.grid = gridfile.New(2*l.k, 16)
-	case ZOrderIdx:
-		l.zx = zorder.NewIndex(l.universe, 16)
+	l.idx = newLayerIndex(l)
+}
+
+// rebuildIndex recreates the index from the surviving objects in
+// insertion order, through the backend's packed bulk path when it has
+// one.
+func (l *Layer) rebuildIndex() error {
+	l.resetIndex()
+	objs := make([]Object, 0, len(l.order))
+	for _, id := range l.order {
+		objs = append(objs, l.objs[id])
 	}
+	if bl, ok := l.idx.(BulkLoader); ok {
+		if err := bl.BulkLoad(objs); err == nil {
+			return nil
+		}
+		l.resetIndex() // bulk failed: fall back to looped inserts
+	}
+	for _, o := range objs {
+		if err := l.idx.insert(o); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Name returns the layer name.
@@ -161,28 +176,19 @@ func (l *Layer) insert(o Object) error {
 	if o.Reg.IsEmpty() {
 		return fmt.Errorf("spatialdb: object %q has an empty region", o.Name)
 	}
-	if err := l.indexInsert(o); err != nil {
+	if err := l.idx.insert(o); err != nil {
 		return err
 	}
-	l.objs[o.ID] = o
-	l.byName[o.Name] = o.ID
-	l.order = append(l.order, o.ID)
+	l.commit(o)
 	return nil
 }
 
-func (l *Layer) indexInsert(o Object) error {
-	switch l.kind {
-	case RTree:
-		return l.rt.Insert(o.Box, o.ID)
-	case PointRTree:
-		p := bbox.PointTransform(o.Box)
-		return l.rt.Insert(bbox.New(p, p), o.ID)
-	case Grid:
-		return l.grid.Insert(bbox.PointTransform(o.Box), o.ID)
-	case ZOrderIdx:
-		return l.zx.Insert(o.Box, o.ID)
-	}
-	return nil
+// commit records an object in the lookup maps after the index accepted
+// it.
+func (l *Layer) commit(o Object) {
+	l.objs[o.ID] = o
+	l.byName[o.Name] = o.ID
+	l.order = append(l.order, o.ID)
 }
 
 // remove deletes an object by id and rebuilds the index from the
@@ -211,13 +217,7 @@ func (l *Layer) remove(id int64) error {
 			}
 		}
 	}
-	l.resetIndex()
-	for _, oid := range l.order {
-		if err := l.indexInsert(l.objs[oid]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return l.rebuildIndex()
 }
 
 // Get returns an object by id.
@@ -269,58 +269,7 @@ func (l *Layer) Search(spec bbox.RangeSpec, visit func(Object) bool) {
 // their costs.
 func (l *Layer) SearchStats(spec bbox.RangeSpec, visit func(Object) bool) Stats {
 	var ids []int64
-	scanned, touched := 0, 0
-	switch l.kind {
-	case Scan:
-		for _, id := range l.order {
-			scanned++
-			if spec.Matches(l.objs[id].Box) {
-				ids = append(ids, id)
-			}
-		}
-		touched = len(l.order)
-	case RTree:
-		touched = l.rt.SearchSpec(spec, func(e rtree.Entry) bool {
-			scanned++
-			ids = append(ids, e.ID)
-			return true
-		})
-	case PointRTree:
-		q, ok := spec.PointQuery()
-		if !ok {
-			s := Stats{Queries: 1}
-			l.addStats(s)
-			return s
-		}
-		touched = l.rt.SearchOverlap(q, func(e rtree.Entry) bool {
-			scanned++
-			ids = append(ids, e.ID)
-			return true
-		})
-	case Grid:
-		q, ok := spec.PointQuery()
-		if !ok {
-			s := Stats{Queries: 1}
-			l.addStats(s)
-			return s
-		}
-		touched = l.grid.Search(q, func(_ []float64, id int64) bool {
-			scanned++
-			ids = append(ids, id)
-			return true
-		})
-	case ZOrderIdx:
-		if spec.Unsatisfiable() {
-			s := Stats{Queries: 1}
-			l.addStats(s)
-			return s
-		}
-		touched = l.zx.SearchOverlap(zorderFilter(spec), func(id int64) bool {
-			scanned++
-			ids = append(ids, id)
-			return true
-		})
-	}
+	touched, scanned := l.idx.search(spec, func(id int64) { ids = append(ids, id) })
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	// Defense in depth: every backend must return exact matches; the
 	// filter also protects against floating-point edge cases in the point
@@ -351,8 +300,9 @@ func (l *Layer) addStats(s Stats) {
 //
 // Concurrency: the store carries a readers–writer guard so that many
 // goroutines can execute compiled plans while others mutate layers. The
-// mutating entry points (Insert, Remove, layer creation, snapshot load)
-// take the write lock internally; plan execution in internal/query holds
+// mutating entry points (Insert, BulkInsert, Upsert, Remove, layer
+// creation, snapshot load) take the write lock internally; plan
+// execution in internal/query holds
 // the read lock for the whole run via RLock/RUnlock, giving each query a
 // consistent view of the data. Every mutation bumps a monotone epoch
 // counter, which cache layers use to invalidate compiled plans.
@@ -386,8 +336,9 @@ func (s *Store) K() int { return s.universe.K }
 func (s *Store) Kind() IndexKind { return s.kind }
 
 // Epoch returns the store's mutation counter. It increases monotonically
-// on every Insert, Remove and layer creation; compiled-plan caches key on
-// it to drop plans built against an older state.
+// on every Insert, Remove and layer creation — and once per BulkInsert
+// batch — so compiled-plan caches key on it to drop plans built against
+// an older state.
 func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
 // RLock acquires the store's read guard. Plan execution holds it for the

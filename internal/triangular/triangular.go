@@ -24,6 +24,8 @@
 // disequation in every Boolean algebra (Theorem 4) and exact for any number
 // of disequations in atomless algebras — in particular the measurable
 // regions of R^k (Theorems 5–6).
+//
+// DESIGN.md §2 ("Compilation") places this package in the module map; §1 sketches the pipeline stage it implements.
 package triangular
 
 import (

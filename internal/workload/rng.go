@@ -3,6 +3,8 @@
 // towns, roads), VLSI-style rectangle layouts, and random regions for
 // property tests. All generation is driven by a splitmix64 RNG so every
 // experiment is reproducible from its seed.
+//
+// DESIGN.md §2 ("Harness") places this package in the module map.
 package workload
 
 // RNG is a splitmix64 pseudo-random generator — tiny, fast and

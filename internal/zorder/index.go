@@ -47,6 +47,27 @@ func NewIndex(universe bbox.Box, budget int) *Index {
 // Len returns the number of indexed boxes.
 func (ix *Index) Len() int { return len(ix.boxes) }
 
+// BulkLoad builds an index over all boxes at once. Inserts already defer
+// sorting (the element list is sorted lazily on first search), so the
+// batch path costs the same as an insert loop; what BulkLoad adds is
+// all-or-nothing construction — any box outside the universe fails the
+// whole build, leaving no partially filled index — and a single upfront
+// sort so the first search pays no hidden cost. boxes and ids are
+// parallel slices.
+func BulkLoad(universe bbox.Box, budget int, boxes []bbox.Box, ids []int64) (*Index, error) {
+	if len(boxes) != len(ids) {
+		return nil, fmt.Errorf("zorder: %d boxes but %d ids", len(boxes), len(ids))
+	}
+	ix := NewIndex(universe, budget)
+	for i, b := range boxes {
+		if err := ix.Insert(b, ids[i]); err != nil {
+			return nil, err
+		}
+	}
+	ix.ensureSorted()
+	return ix, nil
+}
+
 // Insert adds a box. The box must lie inside the universe: z-codes only
 // cover the gridded space, so outside parts would be silently unsearchable.
 func (ix *Index) Insert(b bbox.Box, id int64) error {

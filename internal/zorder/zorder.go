@@ -12,6 +12,8 @@
 // These are exactly the candidate pairs whose boxes may overlap; a final
 // exact box test removes false positives (which arise because a box is
 // over-approximated by its covering cells).
+//
+// DESIGN.md §2 ("Storage") places this package in the module map.
 package zorder
 
 import (
