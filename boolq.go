@@ -23,6 +23,8 @@
 package boolq
 
 import (
+	"context"
+
 	"repro/internal/bbox"
 	"repro/internal/constraint"
 	"repro/internal/formula"
@@ -114,6 +116,15 @@ func CompileAndRun(q *Query, store *Store, params map[string]*Region) (*Result, 
 // RunNaive executes a query by brute force (the unoptimized baseline).
 func RunNaive(q *Query, store *Store, params map[string]*Region) (*Result, error) {
 	return query.RunNaive(q, store, params)
+}
+
+// RunNaiveCtx is RunNaive bounded by a context and Options.Limit: the
+// search stops on cancellation or at the limit and returns the partial
+// result flagged Stats.Cancelled/Stats.Truncated. The optimized
+// executors' bounded variants are methods on Plan (RunCtx,
+// RunParallelCtx, and the per-solution streaming RunStream).
+func RunNaiveCtx(ctx context.Context, q *Query, store *Store, params map[string]*Region, opts Options) (*Result, error) {
+	return query.RunNaiveCtx(ctx, q, store, params, opts)
 }
 
 // Smuggler returns the paper's §2 example query.

@@ -1,6 +1,8 @@
 package boolq
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/workload"
@@ -72,5 +74,54 @@ func TestPublicAPIProgrammaticQuery(t *testing.T) {
 	}
 	if len(res.Solutions) != 1 || res.Solutions[0].Objects[0].Name != "a" {
 		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+// The bounded-execution surface through the public API: limits truncate,
+// cancelled contexts stop every executor, streaming yields per solution.
+func TestPublicAPIBoundedExecution(t *testing.T) {
+	m := workload.GenMap(workload.MapConfig{Seed: 42})
+	store := NewStore(m.Config.Universe, RTree)
+	m.Populate(store)
+	params := map[string]*Region{"C": m.Country, "A": m.Area}
+	plan, err := Compile(Smuggler(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions
+	opts.Limit = 1
+	res, err := plan.RunCtx(context.Background(), store, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || !res.Stats.Truncated {
+		t.Fatalf("limit 1: %d solutions, truncated=%v", len(res.Solutions), res.Stats.Truncated)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, run := range map[string]func() (*Result, error){
+		"RunCtx":         func() (*Result, error) { return plan.RunCtx(ctx, store, params, DefaultOptions) },
+		"RunParallelCtx": func() (*Result, error) { return plan.RunParallelCtx(ctx, store, params, DefaultOptions, 4) },
+		"RunNaiveCtx":    func() (*Result, error) { return RunNaiveCtx(ctx, Smuggler(), store, params, Options{}) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Stats.Cancelled || len(res.Solutions) != 0 {
+			t.Errorf("%s: cancelled=%v, %d solutions", name, res.Stats.Cancelled, len(res.Solutions))
+		}
+	}
+
+	streamed := 0
+	stats, err := plan.RunStream(context.Background(), store, params, DefaultOptions,
+		func(Solution) bool { streamed++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed == 0 || streamed != stats.Solutions {
+		t.Fatalf("stream yielded %d solutions, stats say %d", streamed, stats.Solutions)
 	}
 }

@@ -61,10 +61,18 @@ func run() error {
 		workers   = flag.Int("workers", 0, "default query parallelism (requests may override)")
 		batchWork = flag.Int("batch-workers", server.DefaultBatchWorkers,
 			"default /query/batch worker-pool size (requests may override)")
-		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "plan cache capacity")
-		demo      = flag.Bool("demo", false, "populate the generated §2 smuggler map instead of starting empty")
-		seed      = flag.Uint64("seed", 42, "demo map seed")
-		scale     = flag.Int("scale", 1, "demo map size multiplier")
+		cacheSize    = flag.Int("cache-size", server.DefaultCacheSize, "plan cache capacity")
+		queryTimeout = flag.Duration("query-timeout", server.DefaultQueryTimeout,
+			"server-side bound on each query execution (requests may tighten it via timeout_ms)")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second,
+			"http.Server.ReadHeaderTimeout: max time to receive request headers (slowloris guard)")
+		readTimeout = flag.Duration("read-timeout", 2*time.Minute,
+			"http.Server.ReadTimeout: max time to receive a full request including its body")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute,
+			"http.Server.IdleTimeout: max keep-alive idle time between requests")
+		demo  = flag.Bool("demo", false, "populate the generated §2 smuggler map instead of starting empty")
+		seed  = flag.Uint64("seed", 42, "demo map seed")
+		scale = flag.Int("scale", 1, "demo map size multiplier")
 	)
 	flag.Parse()
 
@@ -83,8 +91,19 @@ func run() error {
 
 	srv := server.New(store, server.Options{
 		CacheSize: *cacheSize, Workers: *workers, BatchWorkers: *batchWork,
+		QueryTimeout: *queryTimeout,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// No WriteTimeout: /query/batch and /query?stream=1 responses are
+	// long-lived streams; execution time is bounded per query by
+	// -query-timeout instead, and dead clients are detected through the
+	// request context.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

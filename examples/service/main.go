@@ -9,7 +9,9 @@
 // invalidates the cached plan), bulk-loads a batch of towns through
 // objects:bulk as NDJSON (one write-lock acquisition, one epoch bump for
 // the whole batch), fans three queries through the streaming /query/batch
-// endpoint, and prints the /stats counters at the end. Run with:
+// endpoint, demonstrates bounded execution (a limit that truncates the
+// result set, and the per-solution ?stream=1 NDJSON mode), and prints
+// the /stats counters at the end. Run with:
 //
 //	go run ./examples/service
 package main
@@ -203,6 +205,62 @@ func run() error {
 	}
 	resp.Body.Close()
 
+	// Bounded execution: a solution limit caps the result set (the
+	// response is flagged "truncated"), and timeout_ms bounds the run —
+	// both essential once queries come from untrusted clients.
+	limReq, _ := json.Marshal(map[string]any{
+		"query": queryText, "params": params, "limit": 1, "timeout_ms": 5000,
+	})
+	var limited queryResult
+	if err := post(base+"/query", limReq, &limited); err != nil {
+		return err
+	}
+	fmt.Printf("limit=1 query:      %d of %d solutions, truncated=%v\n\n",
+		limited.Count, first.Count, limited.Truncated)
+
+	// Streaming mode: each solution leaves as its own NDJSON line the
+	// moment the executor finds it; the final line summarizes the run.
+	resp, err = http.Post(base+"/query?stream=1", "application/json", bytes.NewReader(req))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return fmt.Errorf("stream query: %s: %s", resp.Status, msg)
+	}
+	fmt.Println("POST /query?stream=1 (NDJSON stream):")
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line struct {
+			Solution *struct {
+				Names []string `json:"names"`
+			} `json:"solution"`
+			Error     string `json:"error"`
+			Done      bool   `json:"done"`
+			Count     int    `json:"count"`
+			Truncated bool   `json:"truncated"`
+		}
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			resp.Body.Close()
+			return err
+		}
+		if line.Error != "" {
+			resp.Body.Close()
+			return fmt.Errorf("stream query: %s", line.Error)
+		}
+		if line.Done {
+			fmt.Printf("  summary: %d solutions, truncated=%v\n\n", line.Count, line.Truncated)
+			break
+		}
+		if line.Solution != nil {
+			fmt.Printf("  solution: %v\n", line.Solution.Names)
+		}
+	}
+	resp.Body.Close()
+
 	var stats struct {
 		Epoch uint64 `json:"epoch"`
 		Cache struct {
@@ -211,19 +269,25 @@ func run() error {
 		Bulk struct {
 			Batches, Objects int64
 		} `json:"bulk"`
+		Queries struct {
+			Timeouts, Truncated int64
+		} `json:"queries"`
 	}
 	if err := get(base+"/stats", &stats); err != nil {
 		return err
 	}
 	fmt.Println(strings.Repeat("-", 50))
-	fmt.Printf("epoch %d, plan cache: %d hits / %d misses, bulk: %d objects in %d batches\n",
-		stats.Epoch, stats.Cache.Hits, stats.Cache.Misses, stats.Bulk.Objects, stats.Bulk.Batches)
+	fmt.Printf("epoch %d, plan cache: %d hits / %d misses, bulk: %d objects in %d batches, "+
+		"bounded runs: %d timeouts / %d truncated\n",
+		stats.Epoch, stats.Cache.Hits, stats.Cache.Misses, stats.Bulk.Objects, stats.Bulk.Batches,
+		stats.Queries.Timeouts, stats.Queries.Truncated)
 	return nil
 }
 
 type queryResult struct {
 	Count     int  `json:"count"`
 	Cached    bool `json:"cached"`
+	Truncated bool `json:"truncated"`
 	ElapsedUS int  `json:"elapsed_us"`
 	Solutions []struct {
 		Names []string `json:"names"`

@@ -1,9 +1,11 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bbox"
+	"repro/internal/boolalg"
 	"repro/internal/region"
 	"repro/internal/spatialdb"
 )
@@ -33,6 +35,96 @@ func stepLayerNames(p *Plan) []string {
 	return names
 }
 
+// execFrame is the per-goroutine state of one bounded execution: the
+// serial executor owns a single frame, each parallel worker owns its
+// own, and all frames of a run share one execCtl (cancellation and the
+// solution limit are run-wide, statistics and buffers are frame-local).
+type execFrame struct {
+	p       *Plan
+	ctl     *execCtl
+	opts    Options
+	alg     *region.Algebra
+	layers  []*spatialdb.Layer
+	k       int
+	env     []boolalg.Element
+	envBox  []bbox.Box
+	tuple   []spatialdb.Object
+	stats   *Stats
+	emit    func(Solution) bool // false stops this frame's search
+	stopped bool                // the emit callback asked to stop
+}
+
+func (f *execFrame) halted() bool { return f.stopped || f.ctl.halted() }
+
+// run is the incremental recursion from step i: evaluate the step's box
+// functions against the bound prefix, issue ONE range query, filter and
+// extend. Cancellation is polled every cancelCheckEvery candidates and
+// unwinds the whole recursion via the visit callbacks' return value.
+func (f *execFrame) run(i int) {
+	if i == len(f.p.Steps) {
+		f.final()
+		return
+	}
+	sp := f.p.Steps[i]
+	step := f.p.Form.Steps[i]
+
+	consider := func(o spatialdb.Object) bool {
+		f.stats.Candidates++
+		if f.stats.Candidates%cancelCheckEvery == 0 {
+			f.ctl.poll()
+		}
+		if f.halted() {
+			return false
+		}
+		if f.opts.UseExact && !step.Satisfied(f.alg, f.env, o.Reg) {
+			f.stats.ExactRejects++
+			return true
+		}
+		f.stats.Extended++
+		f.tuple[i] = o
+		f.env[sp.Var] = o.Reg
+		f.envBox[sp.Var] = o.Box
+		f.run(i + 1)
+		f.env[sp.Var] = nil
+		f.envBox[sp.Var] = bbox.Box{}
+		return !f.halted()
+	}
+
+	if f.opts.UseIndex {
+		spec, ok := sp.Spec(f.k, f.envBox)
+		if !ok {
+			return // this prefix admits no extension
+		}
+		f.stats.DB.Add(f.layers[i].SearchStats(spec, consider))
+	} else {
+		f.layers[i].All(consider)
+	}
+}
+
+// final verifies a complete tuple against the original system and emits
+// it if a solution slot is still available under the limit. It polls
+// cancellation unconditionally — the poll is free next to the exact
+// verification, and it guarantees a context cancelled from inside a
+// RunStream yield is honored before the next solution is emitted.
+func (f *execFrame) final() {
+	if f.ctl.poll() {
+		return
+	}
+	f.stats.FinalChecked++
+	if !f.p.Query.Sys.Satisfied(f.alg, f.env) {
+		f.stats.FinalRejected++
+		return
+	}
+	if !f.ctl.reserve() {
+		return
+	}
+	f.stats.Solutions++
+	objs := append([]spatialdb.Object(nil), f.tuple...)
+	if !f.emit(Solution{Objects: objs}) {
+		f.stopped = true
+	}
+}
+
 // Run executes the compiled plan: parameters are bound, the ground
 // (parameter-only) residual is checked once, then solution tuples are
 // built incrementally with per-step range queries and filters per opts.
@@ -45,26 +137,57 @@ func stepLayerNames(p *Plan) []string {
 // Insert/Remove; a plan is immutable after Compile and may be reused (and
 // cached) across any number of concurrent Runs.
 func (p *Plan) Run(store *spatialdb.Store, params map[string]*region.Region, opts Options) (*Result, error) {
+	return p.RunCtx(context.Background(), store, params, opts)
+}
+
+// RunCtx is Run bounded by a context: cancellation (or deadline expiry)
+// stops the recursion within cancelCheckEvery candidates, releases the
+// store's read guard, and returns the solutions found so far with
+// Stats.Cancelled set — a partial result, not an error. Options.Limit
+// likewise stops the search at the given number of solutions, flagging
+// Stats.Truncated.
+func (p *Plan) RunCtx(ctx context.Context, store *spatialdb.Store, params map[string]*region.Region, opts Options) (*Result, error) {
+	res := &Result{}
+	stats, err := p.RunStream(ctx, store, params, opts, func(s Solution) bool {
+		res.Solutions = append(res.Solutions, s)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// RunStream executes like RunCtx but hands each solution to yield as it
+// is found instead of buffering the result set — the executor needs
+// O(steps) memory regardless of how many tuples match. Returning false
+// from yield stops the search early (without flagging the run truncated
+// or cancelled). The callback is invoked while the store's read guard is
+// held, so a yield that blocks indefinitely pins the store against
+// writers; bound it with the context.
+func (p *Plan) RunStream(ctx context.Context, store *spatialdb.Store, params map[string]*region.Region, opts Options, yield func(Solution) bool) (Stats, error) {
 	alg := region.NewAlgebra(store.Universe())
 	env, err := bindParams(p.Query, alg, params)
 	if err != nil {
-		return nil, err
+		return Stats{}, err
+	}
+	var stats Stats
+	ctl := newExecCtl(ctx, opts.Limit)
+	if ctl.poll() { // already cancelled: don't touch the read guard
+		ctl.finish(&stats)
+		return stats, nil
 	}
 	store.RLock()
 	defer store.RUnlock()
 	layers, err := resolveLayers(store, stepLayerNames(p))
 	if err != nil {
-		return nil, err
+		return Stats{}, err
 	}
-	res := &Result{}
 
-	if p.Form.Unsat {
-		res.Stats.GroundFailed = true
-		return res, nil
-	}
-	if !p.Form.Ground.Satisfied(alg, env) {
-		res.Stats.GroundFailed = true
-		return res, nil
+	if p.Form.Unsat || !p.Form.Ground.Satisfied(alg, env) {
+		stats.GroundFailed = true
+		return stats, nil
 	}
 
 	k := store.K()
@@ -74,53 +197,14 @@ func (p *Plan) Run(store *spatialdb.Store, params map[string]*region.Region, opt
 			envBox[v] = env[v].(*region.Region).BoundingBox()
 		}
 	}
-	tuple := make([]spatialdb.Object, len(p.Steps))
-
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(p.Steps) {
-			res.Stats.FinalChecked++
-			if p.Query.Sys.Satisfied(alg, env) {
-				res.Stats.Solutions++
-				objs := append([]spatialdb.Object(nil), tuple...)
-				res.Solutions = append(res.Solutions, Solution{Objects: objs})
-			} else {
-				res.Stats.FinalRejected++
-			}
-			return
-		}
-		sp := p.Steps[i]
-		step := p.Form.Steps[i]
-		layer := layers[i]
-
-		consider := func(o spatialdb.Object) bool {
-			res.Stats.Candidates++
-			if opts.UseExact && !step.Satisfied(alg, env, o.Reg) {
-				res.Stats.ExactRejects++
-				return true
-			}
-			res.Stats.Extended++
-			tuple[i] = o
-			env[sp.Var] = o.Reg
-			envBox[sp.Var] = o.Box
-			rec(i + 1)
-			env[sp.Var] = nil
-			envBox[sp.Var] = bbox.Box{}
-			return true
-		}
-
-		if opts.UseIndex {
-			spec, ok := sp.Spec(k, envBox)
-			if !ok {
-				return // this prefix admits no extension
-			}
-			res.Stats.DB.Add(layer.SearchStats(spec, consider))
-		} else {
-			layer.All(consider)
-		}
+	f := &execFrame{
+		p: p, ctl: ctl, opts: opts, alg: alg, layers: layers, k: k,
+		env: env, envBox: envBox, tuple: make([]spatialdb.Object, len(p.Steps)),
+		stats: &stats, emit: yield,
 	}
-	rec(0)
-	return res, nil
+	f.run(0)
+	ctl.finish(&stats)
+	return stats, nil
 }
 
 // CompileAndRun is the one-call convenience: compile with Compile, execute

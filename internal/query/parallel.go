@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -23,8 +24,20 @@ import (
 // RunParallel holds the store's read guard for the whole execution, so
 // concurrent writers cannot interleave with its range queries.
 func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Region, opts Options, workers int) (*Result, error) {
+	return p.RunParallelCtx(context.Background(), store, params, opts, workers)
+}
+
+// RunParallelCtx is RunParallel bounded by a context and Options.Limit.
+// Cancellation latches a run-wide flag that every worker observes within
+// cancelCheckEvery of its own candidates; the limit is enforced with a
+// shared reservation counter, so at most Limit solutions are returned in
+// total (which Limit of the full solution set is scheduling-dependent,
+// unlike the serial executor's first-in-DFS-order prefix — the count and
+// the Truncated/Cancelled flags agree across executors). Partial results
+// are returned with the flags set, not an error.
+func (p *Plan) RunParallelCtx(ctx context.Context, store *spatialdb.Store, params map[string]*region.Region, opts Options, workers int) (*Result, error) {
 	if workers <= 1 || len(p.Steps) == 0 {
-		res, err := p.Run(store, params, opts)
+		res, err := p.RunCtx(ctx, store, params, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -36,13 +49,18 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 	if err != nil {
 		return nil, err
 	}
+	res := &Result{}
+	ctl := newExecCtl(ctx, opts.Limit)
+	if ctl.poll() { // already cancelled: don't touch the read guard
+		ctl.finish(&res.Stats)
+		return res, nil
+	}
 	store.RLock()
 	defer store.RUnlock()
 	layers, err := resolveLayers(store, stepLayerNames(p))
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
 
 	if p.Form.Unsat || !p.Form.Ground.Satisfied(alg, env) {
 		res.Stats.GroundFailed = true
@@ -65,6 +83,12 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 	firstStats := Stats{}
 	gather := func(o spatialdb.Object) bool {
 		firstStats.Candidates++
+		if firstStats.Candidates%cancelCheckEvery == 0 {
+			ctl.poll()
+		}
+		if ctl.halted() {
+			return false
+		}
 		if opts.UseExact && !step.Satisfied(alg, env, o.Reg) {
 			firstStats.ExactRejects++
 			return true
@@ -83,7 +107,8 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 		layers[0].All(gather)
 	}
 
-	// Stage 2: workers drain the candidate list.
+	// Stage 2: workers drain the candidate list, each with a private
+	// execFrame over the shared execCtl.
 	var (
 		mu   sync.Mutex
 		wg   sync.WaitGroup
@@ -94,12 +119,20 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wenv := append([]boolalg.Element(nil), env...)
-			wbox := append([]bbox.Box(nil), envBox...)
-			tuple := make([]spatialdb.Object, len(p.Steps))
 			var wstats Stats
 			var wsols []Solution
+			f := &execFrame{
+				p: p, ctl: ctl, opts: opts, alg: alg, layers: layers, k: k,
+				env:    append([]boolalg.Element(nil), env...),
+				envBox: append([]bbox.Box(nil), envBox...),
+				tuple:  make([]spatialdb.Object, len(p.Steps)),
+				stats:  &wstats,
+				emit:   func(s Solution) bool { wsols = append(wsols, s); return true },
+			}
 			for {
+				if ctl.poll() || f.halted() {
+					break
+				}
 				mu.Lock()
 				if next >= len(firsts) {
 					mu.Unlock()
@@ -109,12 +142,12 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 				next++
 				mu.Unlock()
 
-				tuple[0] = o
-				wenv[sp.Var] = o.Reg
-				wbox[sp.Var] = o.Box
-				p.runFrom(1, k, layers, alg, wenv, wbox, tuple, opts, &wstats, &wsols)
-				wenv[sp.Var] = nil
-				wbox[sp.Var] = bbox.Box{}
+				f.tuple[0] = o
+				f.env[sp.Var] = o.Reg
+				f.envBox[sp.Var] = o.Box
+				f.run(1)
+				f.env[sp.Var] = nil
+				f.envBox[sp.Var] = bbox.Box{}
 			}
 			mu.Lock()
 			mergeStats(&res.Stats, wstats)
@@ -123,53 +156,9 @@ func (p *Plan) RunParallel(store *spatialdb.Store, params map[string]*region.Reg
 		}()
 	}
 	wg.Wait()
+	ctl.finish(&res.Stats)
 	sortSolutions(res.Solutions)
 	return res, nil
-}
-
-// runFrom is the serial recursion from step i, writing into caller-owned
-// buffers (shared-nothing between workers). The caller holds the store's
-// read guard; layers carries the pre-resolved step layers.
-func (p *Plan) runFrom(i, k int, layers []*spatialdb.Layer, alg *region.Algebra,
-	env []boolalg.Element, envBox []bbox.Box, tuple []spatialdb.Object,
-	opts Options, stats *Stats, sols *[]Solution) {
-	if i == len(p.Steps) {
-		stats.FinalChecked++
-		if p.Query.Sys.Satisfied(alg, env) {
-			stats.Solutions++
-			objs := append([]spatialdb.Object(nil), tuple...)
-			*sols = append(*sols, Solution{Objects: objs})
-		} else {
-			stats.FinalRejected++
-		}
-		return
-	}
-	sp := p.Steps[i]
-	step := p.Form.Steps[i]
-	consider := func(o spatialdb.Object) bool {
-		stats.Candidates++
-		if opts.UseExact && !step.Satisfied(alg, env, o.Reg) {
-			stats.ExactRejects++
-			return true
-		}
-		stats.Extended++
-		tuple[i] = o
-		env[sp.Var] = o.Reg
-		envBox[sp.Var] = o.Box
-		p.runFrom(i+1, k, layers, alg, env, envBox, tuple, opts, stats, sols)
-		env[sp.Var] = nil
-		envBox[sp.Var] = bbox.Box{}
-		return true
-	}
-	if opts.UseIndex {
-		spec, ok := sp.Spec(k, envBox)
-		if !ok {
-			return
-		}
-		stats.DB.Add(layers[i].SearchStats(spec, consider))
-	} else {
-		layers[i].All(consider)
-	}
 }
 
 func mergeStats(dst *Stats, src Stats) {

@@ -21,10 +21,19 @@
 // original system in the exact region algebra, so every execution mode
 // returns the same, sound solution set.
 //
+// Execution is cancellable and boundable: every executor has a
+// context-aware variant (RunCtx, RunParallelCtx, RunNaiveCtx, RunStream)
+// that polls cancellation every few hundred candidates, stops at
+// Options.Limit solutions, and returns the partial result flagged
+// Stats.Cancelled/Stats.Truncated instead of an error — so one
+// pathological query can neither pin the store's read guard forever nor
+// buffer an unbounded result set.
+//
 // DESIGN.md §2 ("Compilation") places this package in the module map; §3 describes the concurrency contract the executors uphold.
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/boolalg"
@@ -70,6 +79,11 @@ type Options struct {
 	// UseExact applies the solved-form constraint Cᵢ exactly (region
 	// algebra) to every candidate before extending the partial tuple.
 	UseExact bool
+	// Limit stops the search after this many solutions (≤ 0: unlimited).
+	// A run stopped by its limit returns the partial result with
+	// Stats.Truncated set. Honored by every executor, including the
+	// naive baseline.
+	Limit int
 }
 
 // DefaultOptions enables both filters: the paper's full pipeline.
@@ -84,6 +98,8 @@ type Stats struct {
 	FinalRejected int // full tuples failing it
 	Solutions     int
 	GroundFailed  bool // parameter-only constraints already unsatisfiable
+	Truncated     bool // Options.Limit stopped the search early
+	Cancelled     bool // the context was cancelled or expired mid-run
 	DB            spatialdb.Stats
 }
 
@@ -113,6 +129,16 @@ type Result struct {
 // optimization is measured against (experiment E6). Like Plan.Run it
 // holds the store's read guard for the whole execution.
 func RunNaive(q *Query, store *spatialdb.Store, params map[string]*region.Region) (*Result, error) {
+	return RunNaiveCtx(context.Background(), q, store, params, Options{})
+}
+
+// RunNaiveCtx is RunNaive bounded by a context and Options.Limit (the
+// filter options are meaningless for the naive baseline and ignored).
+// Cancellation and the limit behave exactly as in Plan.RunCtx: the
+// search stops early, the read guard is released, and the partial
+// result comes back with Stats.Cancelled/Stats.Truncated set rather
+// than an error.
+func RunNaiveCtx(ctx context.Context, q *Query, store *spatialdb.Store, params map[string]*region.Region, opts Options) (*Result, error) {
 	if err := validate(q, store); err != nil {
 		return nil, err
 	}
@@ -120,6 +146,12 @@ func RunNaive(q *Query, store *spatialdb.Store, params map[string]*region.Region
 	env, err := bindParams(q, alg, params)
 	if err != nil {
 		return nil, err
+	}
+	res := &Result{}
+	ctl := newExecCtl(ctx, opts.Limit)
+	if ctl.poll() { // already cancelled: don't touch the read guard
+		ctl.finish(&res.Stats)
+		return res, nil
 	}
 	store.RLock()
 	defer store.RUnlock()
@@ -131,13 +163,18 @@ func RunNaive(q *Query, store *spatialdb.Store, params map[string]*region.Region
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	tuple := make([]spatialdb.Object, len(q.Retrieve))
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(q.Retrieve) {
+			if ctl.poll() {
+				return
+			}
 			res.Stats.FinalChecked++
 			if q.Sys.Satisfied(alg, env) {
+				if !ctl.reserve() {
+					return
+				}
 				res.Stats.Solutions++
 				objs := append([]spatialdb.Object(nil), tuple...)
 				res.Solutions = append(res.Solutions, Solution{Objects: objs})
@@ -149,14 +186,21 @@ func RunNaive(q *Query, store *spatialdb.Store, params map[string]*region.Region
 		v, _ := q.Sys.Vars.Lookup(q.Retrieve[i].Var)
 		layers[i].All(func(o spatialdb.Object) bool {
 			res.Stats.Candidates++
+			if res.Stats.Candidates%cancelCheckEvery == 0 {
+				ctl.poll()
+			}
+			if ctl.halted() {
+				return false
+			}
 			tuple[i] = o
 			env[v] = o.Reg
 			rec(i + 1)
 			env[v] = nil
-			return true
+			return !ctl.halted()
 		})
 	}
 	rec(0)
+	ctl.finish(&res.Stats)
 	return res, nil
 }
 

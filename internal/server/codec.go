@@ -86,15 +86,24 @@ type layerInfo struct {
 	Objects int    `json:"objects"`
 }
 
-// queryRequest is the POST /query body.
+// queryRequest is the POST /query body (also one element of a
+// /query/batch request, so every bound below applies per batch query).
 type queryRequest struct {
 	Query   string                `json:"query"`
 	Params  map[string]jsonRegion `json:"params,omitempty"`
-	Workers int                   `json:"workers,omitempty"`
+	Workers int                   `json:"workers,omitempty"` // clamped to [1, MaxQueryWorkers] server-side
 	Naive   bool                  `json:"naive,omitempty"`   // run the unoptimized baseline instead
 	Explain bool                  `json:"explain,omitempty"` // include the compiled plan text
 	NoIndex bool                  `json:"no_index,omitempty"`
 	NoExact bool                  `json:"no_exact,omitempty"`
+	// Limit stops the search after this many solutions (≤ 0: unlimited);
+	// a capped run reports "truncated": true.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS bounds this query's execution. It can only tighten the
+	// server-side default (Options.QueryTimeout), never extend it; an
+	// expired query returns its partial result with 408 and
+	// "cancelled": true.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // solutionJSON is one result tuple, in retrieval order.
@@ -170,10 +179,31 @@ type queryResponse struct {
 	Count     int            `json:"count"`
 	Cached    bool           `json:"cached"` // answered from the plan cache
 	Naive     bool           `json:"naive,omitempty"`
+	Truncated bool           `json:"truncated,omitempty"` // limit stopped the search; solutions are partial
+	Cancelled bool           `json:"cancelled,omitempty"` // timeout/disconnect stopped it; solutions are partial
 	Epoch     uint64         `json:"epoch"`
 	ElapsedUS int64          `json:"elapsed_us"`
 	Stats     query.Stats    `json:"stats"`
 	Plan      string         `json:"plan,omitempty"`
+}
+
+// streamSolutionLine is one NDJSON line of a POST /query?stream=1
+// response: a solution tagged so clients can tell it from the summary.
+type streamSolutionLine struct {
+	Solution solutionJSON `json:"solution"`
+}
+
+// streamSummary is the final NDJSON line of a POST /query?stream=1
+// response.
+type streamSummary struct {
+	Done      bool        `json:"done"`
+	Count     int         `json:"count"`
+	Cached    bool        `json:"cached"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Cancelled bool        `json:"cancelled,omitempty"`
+	Epoch     uint64      `json:"epoch"`
+	ElapsedUS int64       `json:"elapsed_us"`
+	Stats     query.Stats `json:"stats"`
 }
 
 // statsResponse is the GET /stats reply.
@@ -201,6 +231,11 @@ type counterGroup struct {
 	Errors   int64 `json:"errors"`
 	Naive    int64 `json:"naive"`
 	Compiles int64 `json:"compiles"`
+	// Bounded-execution outcomes: runs stopped by their deadline, by
+	// client disconnect, and by their solution limit.
+	Timeouts  int64 `json:"timeouts"`
+	Cancelled int64 `json:"cancelled"`
+	Truncated int64 `json:"truncated"`
 }
 
 type mutationStats struct {

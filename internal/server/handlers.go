@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -156,6 +157,58 @@ func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 
 // ---- query execution ----
 
+// MaxQueryWorkers caps the per-request workers override (mirroring
+// MaxBatchConcurrency for batches): a request must not be able to make
+// the server spawn an unbounded number of goroutines.
+const MaxQueryWorkers = 64
+
+// DefaultQueryTimeout is the server-side execution bound applied when
+// Options.QueryTimeout is unset. Requests can tighten it per query via
+// timeout_ms but never extend it.
+const DefaultQueryTimeout = 30 * time.Second
+
+// clampWorkers resolves the per-request parallelism: ≤ 0 falls back to
+// the server default, anything above MaxQueryWorkers is clamped.
+func (s *Server) clampWorkers(requested int) int {
+	w := requested
+	if w <= 0 {
+		w = s.workers
+	}
+	if w > MaxQueryWorkers {
+		w = MaxQueryWorkers
+	}
+	return w
+}
+
+// queryContext derives one run's execution context: the request context
+// (a client disconnect cancels it) bounded by the server-side default
+// timeout, tightened further by the request's own timeout_ms.
+func (s *Server) queryContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.queryTimeout
+	if timeoutMS > 0 {
+		if rd := time.Duration(timeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// countOutcome bumps the bounded-execution counters for one finished
+// run: expiry of the derived deadline counts as a timeout, any other
+// cancellation (client disconnect, parent cancel) as cancelled.
+func (s *Server) countOutcome(ctx context.Context, st query.Stats) {
+	if st.Truncated {
+		s.metrics.QueryTruncated.Add(1)
+	}
+	if st.Cancelled {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.metrics.QueryTimeouts.Add(1)
+		} else {
+			s.metrics.QueryCancelled.Add(1)
+		}
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.QueriesTotal.Add(1)
 	var req queryRequest
@@ -163,80 +216,117 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.metrics.QueryErrors.Add(1)
 		return
 	}
-	resp, status, err := s.runQuery(&req)
+	if streamRequested(r) {
+		s.handleQueryStream(w, r, &req)
+		return
+	}
+	resp, status, err := s.runQuery(r.Context(), &req)
 	if err != nil {
 		s.metrics.QueryErrors.Add(1)
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, status, resp)
+}
+
+// streamRequested reports whether ?stream=1 (or =true) was given.
+func streamRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 // runQuery executes one request against the current store.
-func (s *Server) runQuery(req *queryRequest) (*queryResponse, int, error) {
+func (s *Server) runQuery(ctx context.Context, req *queryRequest) (*queryResponse, int, error) {
 	store, gen := s.storeAndGen()
-	return s.execQuery(store, gen, store.Epoch(), req)
+	return s.execQuery(ctx, store, gen, store.Epoch(), req)
+}
+
+// decodeParams converts the request's wire regions against the store's
+// dimensionality.
+func decodeParams(store *spatialdb.Store, req *queryRequest) (map[string]*region.Region, error) {
+	params := make(map[string]*region.Region, len(req.Params))
+	for name, jr := range req.Params {
+		reg, err := jr.toRegion(store.K())
+		if err != nil {
+			return nil, errors.New("parameter " + name + ": " + err.Error())
+		}
+		params[name] = reg
+	}
+	return params, nil
+}
+
+// lookupPlan resolves the compiled plan for a normalized query through
+// the plan cache: hit ⇒ skip Parse/Compile entirely. The epoch was read
+// before the lookup; a mutation racing with this request at worst
+// recompiles on the next request, never serves wrong plans (compiled
+// plans are immutable and execution takes the store's read guard).
+func (s *Server) lookupPlan(store *spatialdb.Store, gen, epoch uint64, normalized string) (*query.Plan, bool, error) {
+	plan, hit := s.cache.Get(normalized, gen, epoch)
+	if hit {
+		return plan, true, nil
+	}
+	q, err := lang.Parse(normalized)
+	if err != nil {
+		return nil, false, err
+	}
+	if plan, err = query.Compile(q, store); err != nil {
+		return nil, false, err
+	}
+	s.metrics.PlanCompiles.Add(1)
+	s.cache.Put(normalized, gen, epoch, plan)
+	return plan, false, nil
 }
 
 // execQuery executes one request against a pinned (store, generation,
 // epoch) snapshot. The batch handler captures the snapshot once so every
 // query of a batch compiles and caches plans against the same plan
-// generation; the single-query handler passes the current one.
-func (s *Server) execQuery(store *spatialdb.Store, gen, epoch uint64, req *queryRequest) (*queryResponse, int, error) {
+// generation; the single-query handler passes the current one. The run
+// is bounded by the derived query context; an expired or disconnected
+// run returns its partial result with status 408 and the cancelled flag
+// rather than an error.
+func (s *Server) execQuery(ctx context.Context, store *spatialdb.Store, gen, epoch uint64, req *queryRequest) (*queryResponse, int, error) {
 	normalized, err := lang.Normalize(req.Query)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	params := make(map[string]*region.Region, len(req.Params))
-	for name, jr := range req.Params {
-		reg, err := jr.toRegion(store.K())
-		if err != nil {
-			return nil, http.StatusBadRequest, errors.New("parameter " + name + ": " + err.Error())
-		}
-		params[name] = reg
+	params, err := decodeParams(store, req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
 	start := time.Now()
+	qctx, cancel := s.queryContext(ctx, req.TimeoutMS)
+	defer cancel()
+	opts := query.Options{UseIndex: !req.NoIndex, UseExact: !req.NoExact, Limit: req.Limit}
 
+	var res *query.Result
+	var plan *query.Plan
+	hit := false
 	if req.Naive {
 		s.metrics.QueriesNaive.Add(1)
 		q, err := lang.Parse(normalized)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
-		res, err := query.RunNaive(q, store, params)
-		if err != nil {
+		if res, err = query.RunNaiveCtx(qctx, q, store, params, opts); err != nil {
 			return nil, http.StatusBadRequest, err
 		}
-		return buildQueryResponse(res, nil, req, false, store.Epoch(), start), http.StatusOK, nil
-	}
-
-	// The plan cache: hit ⇒ skip Parse/Compile entirely. The epoch was
-	// read before the lookup; a mutation racing with this request at worst
-	// recompiles on the next request, never serves wrong plans (compiled
-	// plans are immutable and execution takes the store's read guard).
-	plan, hit := s.cache.Get(normalized, gen, epoch)
-	if !hit {
-		q, err := lang.Parse(normalized)
-		if err != nil {
+	} else {
+		if plan, hit, err = s.lookupPlan(store, gen, epoch, normalized); err != nil {
 			return nil, http.StatusBadRequest, err
 		}
-		if plan, err = query.Compile(q, store); err != nil {
+		if res, err = plan.RunParallelCtx(qctx, store, params, opts, s.clampWorkers(req.Workers)); err != nil {
 			return nil, http.StatusBadRequest, err
 		}
-		s.metrics.PlanCompiles.Add(1)
-		s.cache.Put(normalized, gen, epoch, plan)
 	}
-
-	opts := query.Options{UseIndex: !req.NoIndex, UseExact: !req.NoExact}
-	workers := req.Workers
-	if workers <= 0 {
-		workers = s.workers
+	s.countOutcome(qctx, res.Stats)
+	status := http.StatusOK
+	if res.Stats.Cancelled {
+		status = http.StatusRequestTimeout
 	}
-	res, err := plan.RunParallel(store, params, opts, workers)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-	return buildQueryResponse(res, plan, req, hit, epoch, start), http.StatusOK, nil
+	return buildQueryResponse(res, plan, req, hit, epoch, start), status, nil
 }
 
 func buildQueryResponse(res *query.Result, plan *query.Plan, req *queryRequest,
@@ -246,6 +336,8 @@ func buildQueryResponse(res *query.Result, plan *query.Plan, req *queryRequest,
 		Count:     len(res.Solutions),
 		Cached:    cached,
 		Naive:     req.Naive,
+		Truncated: res.Stats.Truncated,
+		Cancelled: res.Stats.Cancelled,
 		Epoch:     epoch,
 		ElapsedUS: time.Since(start).Microseconds(),
 		Stats:     res.Stats,
@@ -257,6 +349,117 @@ func buildQueryResponse(res *query.Result, plan *query.Plan, req *queryRequest,
 		resp.Plan = plan.Explain()
 	}
 	return resp
+}
+
+// handleQueryStream is POST /query?stream=1: each solution leaves as
+// its own NDJSON line the moment the executor finds it, followed by one
+// summary line — wide result sets never buffer server-side. The store's
+// read guard is held while lines are written, so a slow client pins it;
+// the run context (server timeout ∧ timeout_ms ∧ client disconnect)
+// bounds for how long. The HTTP status is decided by the first line:
+// errors detectable before execution (parse, compile, bad params) still
+// get a clean 400.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req *queryRequest) {
+	fail := func(status int, err error) {
+		s.metrics.QueryErrors.Add(1)
+		writeError(w, status, "%v", err)
+	}
+	if req.Naive {
+		fail(http.StatusBadRequest, errors.New("stream=1 does not support naive execution"))
+		return
+	}
+	store, gen := s.storeAndGen()
+	epoch := store.Epoch()
+	normalized, err := lang.Normalize(req.Query)
+	if err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+	params, err := decodeParams(store, req)
+	if err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+	plan, hit, err := s.lookupPlan(store, gen, epoch, normalized)
+	if err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	qctx, cancel := s.queryContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	opts := query.Options{UseIndex: !req.NoIndex, UseExact: !req.NoExact, Limit: req.Limit}
+
+	// Each response write carries the run's deadline as a connection
+	// write deadline: the executor holds the store's read guard while
+	// emitting, and without it a client that stops reading (TCP window
+	// full, not disconnected) would block enc.Encode forever — the
+	// executor's cancellation polls never run inside a stuck write, so
+	// the guard would be pinned indefinitely. With it the write errors
+	// out at the deadline, the yield returns false, and the run unwinds.
+	// (SetWriteDeadline is unsupported on some ResponseWriters, e.g.
+	// httptest recorders — then the context bound alone applies.)
+	rc := http.NewResponseController(w)
+	deadline, hasDeadline := qctx.Deadline()
+	enc := json.NewEncoder(w) // no indent: one value per line
+	headerOut := false
+	writeFailed := false
+	status := http.StatusOK
+	emit := func(v any) bool {
+		if writeFailed {
+			return false
+		}
+		if hasDeadline {
+			_ = rc.SetWriteDeadline(deadline)
+		}
+		if !headerOut {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(status)
+			headerOut = true
+		}
+		if err := enc.Encode(v); err != nil {
+			writeFailed = true
+			return false
+		}
+		if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			writeFailed = true
+			return false
+		}
+		return true
+	}
+	count := 0
+	stats, err := plan.RunStream(qctx, store, params, opts, func(sol query.Solution) bool {
+		count++
+		return emit(streamSolutionLine{Solution: toSolutionJSON(sol)})
+	})
+	if err != nil {
+		// Unbound parameter, or a layer dropped since compile. Before the
+		// first solution this is still a clean 400; afterwards the stream
+		// has started and the error becomes its closing line.
+		if !headerOut {
+			fail(http.StatusBadRequest, err)
+		} else {
+			s.metrics.QueryErrors.Add(1)
+			emit(errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	s.countOutcome(qctx, stats)
+	if stats.Cancelled {
+		// Only effective when no solution line has been written yet; an
+		// in-flight stream keeps its 200 and flags the summary instead.
+		status = http.StatusRequestTimeout
+	}
+	emit(streamSummary{
+		Done:      true,
+		Count:     count,
+		Cached:    hit,
+		Truncated: stats.Truncated,
+		Cancelled: stats.Cancelled,
+		Epoch:     epoch,
+		ElapsedUS: time.Since(start).Microseconds(),
+		Stats:     stats,
+	})
 }
 
 // ---- stats, snapshots, metrics ----
@@ -274,10 +477,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Capacity: s.cache.Cap(),
 		},
 		Queries: counterGroup{
-			Total:    mt.QueriesTotal.Value(),
-			Errors:   mt.QueryErrors.Value(),
-			Naive:    mt.QueriesNaive.Value(),
-			Compiles: mt.PlanCompiles.Value(),
+			Total:     mt.QueriesTotal.Value(),
+			Errors:    mt.QueryErrors.Value(),
+			Naive:     mt.QueriesNaive.Value(),
+			Compiles:  mt.PlanCompiles.Value(),
+			Timeouts:  mt.QueryTimeouts.Value(),
+			Cancelled: mt.QueryCancelled.Value(),
+			Truncated: mt.QueryTruncated.Value(),
 		},
 		Batch: batchStats{
 			Requests:   mt.BatchRequests.Value(),

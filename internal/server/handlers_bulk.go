@@ -241,7 +241,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				s.metrics.BatchQueries.Add(1)
-				resp, _, err := s.execQuery(store, gen, epoch, &req.Queries[i])
+				resp, _, err := s.execQuery(ctx, store, gen, epoch, &req.Queries[i])
 				if err != nil {
 					s.metrics.QueryErrors.Add(1)
 					errCount.Add(1)

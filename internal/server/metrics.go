@@ -11,18 +11,21 @@ import (
 // process-wide expvar registry under "boolqd", and every server serves
 // its own map at GET /debug/vars.
 type Metrics struct {
-	QueriesTotal  expvar.Int
-	QueryErrors   expvar.Int
-	QueriesNaive  expvar.Int
-	PlanCompiles  expvar.Int
-	Inserts       expvar.Int
-	Deletes       expvar.Int
-	SnapshotSaves expvar.Int
-	SnapshotLoads expvar.Int
-	BulkBatches   expvar.Int // POST /layers/{layer}/objects:bulk requests
-	BulkObjects   expvar.Int // objects inserted by bulk requests
-	BatchRequests expvar.Int // POST /query/batch requests
-	BatchQueries  expvar.Int // individual queries run by batch requests
+	QueriesTotal   expvar.Int
+	QueryErrors    expvar.Int
+	QueriesNaive   expvar.Int
+	PlanCompiles   expvar.Int
+	QueryTimeouts  expvar.Int // runs stopped by their execution deadline
+	QueryCancelled expvar.Int // runs stopped by client disconnect/cancel
+	QueryTruncated expvar.Int // runs capped by their solution limit
+	Inserts        expvar.Int
+	Deletes        expvar.Int
+	SnapshotSaves  expvar.Int
+	SnapshotLoads  expvar.Int
+	BulkBatches    expvar.Int // POST /layers/{layer}/objects:bulk requests
+	BulkObjects    expvar.Int // objects inserted by bulk requests
+	BatchRequests  expvar.Int // POST /query/batch requests
+	BatchQueries   expvar.Int // individual queries run by batch requests
 }
 
 var publishOnce sync.Once
@@ -37,6 +40,9 @@ func (s *Server) expvarMap() *expvar.Map {
 	m.Set("query_errors", &mt.QueryErrors)
 	m.Set("queries_naive", &mt.QueriesNaive)
 	m.Set("plan_compiles", &mt.PlanCompiles)
+	m.Set("query_timeouts", &mt.QueryTimeouts)
+	m.Set("query_cancelled", &mt.QueryCancelled)
+	m.Set("query_truncated", &mt.QueryTruncated)
 	m.Set("inserts", &mt.Inserts)
 	m.Set("deletes", &mt.Deletes)
 	m.Set("snapshot_saves", &mt.SnapshotSaves)

@@ -10,7 +10,7 @@
 //	GET    /layers/{layer}/objects/{name}       fetch an object
 //	DELETE /layers/{layer}/objects/{name}       delete an object
 //	POST   /layers/{layer}/objects:bulk         bulk-insert objects (JSON array or NDJSON)
-//	POST   /query                               run a textual query
+//	POST   /query                               run a textual query (?stream=1: NDJSON per solution)
 //	POST   /query/batch                         run many queries, streaming NDJSON results
 //	GET    /stats                               service + store statistics
 //	GET    /snapshot                            save the store as JSON
@@ -28,6 +28,16 @@
 // cached plan. Reads and writes may be issued concurrently: plan
 // execution holds the store's read guard, mutations its write lock.
 //
+// Every execution is bounded: the server derives each run's context from
+// the request context (client disconnects cancel it) plus a server-side
+// default timeout (Options.QueryTimeout), which a request's timeout_ms
+// can tighten but never extend; limit caps the solution count; and the
+// per-request workers override is clamped to MaxQueryWorkers. Expired or
+// disconnected runs release the store's read guard within a few hundred
+// candidates and come back as 408 with partial results flagged
+// cancelled; capped runs flag truncated. The query_timeouts,
+// query_cancelled and query_truncated counters expose the outcomes.
+//
 // The batch-shaped entry points exist because the single-object paths are
 // where a production load falls over: objects:bulk takes the store's
 // write lock once per batch and engages the index backends' packed bulk
@@ -44,6 +54,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/spatialdb"
 )
@@ -60,6 +71,11 @@ type Options struct {
 	// when the request does not set its own concurrency (≤ 0 means
 	// DefaultBatchWorkers).
 	BatchWorkers int
+	// QueryTimeout bounds every query execution server-side (≤ 0 means
+	// DefaultQueryTimeout). A request's timeout_ms can tighten it but
+	// never extend it, so no single query can hold the store's read
+	// guard longer than this.
+	QueryTimeout time.Duration
 }
 
 // Server is the boolqd HTTP service over one spatial store.
@@ -72,6 +88,7 @@ type Server struct {
 	vars         *expvar.Map
 	workers      int
 	batchWorkers int
+	queryTimeout time.Duration
 	mux          *http.ServeMux
 }
 
@@ -81,12 +98,17 @@ func New(store *spatialdb.Store, opts Options) *Server {
 	if bw <= 0 {
 		bw = DefaultBatchWorkers
 	}
+	qt := opts.QueryTimeout
+	if qt <= 0 {
+		qt = DefaultQueryTimeout
+	}
 	s := &Server{
 		store:        store,
 		cache:        NewPlanCache(opts.CacheSize),
 		metrics:      &Metrics{},
 		workers:      opts.Workers,
 		batchWorkers: bw,
+		queryTimeout: qt,
 	}
 	s.vars = s.expvarMap()
 	publishOnce.Do(func() { expvar.Publish("boolqd", s.vars) })
