@@ -1,0 +1,21 @@
+# Developer entry points; CI runs the same commands.
+
+.PHONY: build test race bench vet
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# bench runs the tracked benchmark harness with -benchmem and refreshes
+# BENCH_PR4.json (see scripts/bench.sh for the BENCH/BENCHTIME/COUNT/OUT
+# knobs and docs/API.md + DESIGN.md §5 for what the numbers mean).
+bench:
+	./scripts/bench.sh

@@ -71,23 +71,43 @@ func Rect(x0, y0, x1, y1 float64) Box {
 	return New([]float64{x0, y0}, []float64{x1, y1})
 }
 
-// IsEmpty reports whether b is the empty box.
-func (b Box) IsEmpty() bool { return b.Lo == nil }
+// IsEmpty reports whether b is the empty box. Emptiness is a length-zero
+// (usually nil) Lo slice: the in-place operations (MeetInto and friends)
+// mark a destination empty by truncating its Lo/Hi to length 0, which
+// keeps the backing arrays available for reuse.
+func (b Box) IsEmpty() bool { return len(b.Lo) == 0 }
+
+// IsUniv reports whether b is Univ(b.K), i.e. unbounded in every
+// dimension. Unlike Equal(Univ(k)) it allocates nothing.
+func (b Box) IsUniv() bool {
+	if b.IsEmpty() {
+		return false
+	}
+	for i := 0; i < b.K; i++ {
+		if !math.IsInf(b.Lo[i], -1) || !math.IsInf(b.Hi[i], 1) {
+			return false
+		}
+	}
+	return true
+}
 
 // Meet returns b ⊓ c, the intersection. Boxes of mismatched dimension
-// panic: that is always a programming error in the compiler.
+// panic: that is always a programming error in the compiler. Disjoint
+// operands short-circuit to the empty box without allocating.
 func (b Box) Meet(c Box) Box {
 	b.checkDim(c)
 	if b.IsEmpty() || c.IsEmpty() {
 		return Empty(b.K)
 	}
+	for i := 0; i < b.K; i++ {
+		if math.Max(b.Lo[i], c.Lo[i]) > math.Min(b.Hi[i], c.Hi[i]) {
+			return Empty(b.K)
+		}
+	}
 	lo, hi := make([]float64, b.K), make([]float64, b.K)
 	for i := 0; i < b.K; i++ {
 		lo[i] = math.Max(b.Lo[i], c.Lo[i])
 		hi[i] = math.Min(b.Hi[i], c.Hi[i])
-		if lo[i] > hi[i] {
-			return Empty(b.K)
-		}
 	}
 	return Box{K: b.K, Lo: lo, Hi: hi}
 }
@@ -127,8 +147,19 @@ func (b Box) Contains(c Box) bool {
 	return true
 }
 
-// Overlaps reports b ⊓ c ≠ ∅.
-func (b Box) Overlaps(c Box) bool { return !b.Meet(c).IsEmpty() }
+// Overlaps reports b ⊓ c ≠ ∅ without materializing the meet.
+func (b Box) Overlaps(c Box) bool {
+	b.checkDim(c)
+	if b.IsEmpty() || c.IsEmpty() {
+		return false
+	}
+	for i := 0; i < b.K; i++ {
+		if b.Lo[i] > c.Hi[i] || c.Lo[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Equal reports coordinate equality (or both empty).
 func (b Box) Equal(c Box) bool {
@@ -202,6 +233,95 @@ func (b Box) Enlarge(c Box) float64 {
 func (b Box) checkDim(c Box) {
 	if b.K != c.K {
 		panic(fmt.Sprintf("bbox: dimension mismatch %d vs %d", b.K, c.K))
+	}
+}
+
+// In-place box arithmetic. These are the allocation-free core the compiled
+// box-function programs (Program.Eval) run on: a destination box is reused
+// across operations, growing its Lo/Hi backing arrays once and then
+// truncating them to length 0 whenever a result is empty, so steady-state
+// evaluation allocates nothing. The destination must own its backing
+// arrays — it may alias one of the operands (the writes are pointwise),
+// but never a box the caller still needs afterwards.
+
+// ensureLen returns s resized to length k, reusing its backing array when
+// the capacity allows.
+func ensureLen(s []float64, k int) []float64 {
+	if cap(s) >= k {
+		return s[:k]
+	}
+	return make([]float64, k)
+}
+
+// SetEmpty makes dst the empty box in k dimensions, keeping its backing
+// arrays for reuse.
+func (dst *Box) SetEmpty(k int) {
+	dst.K = k
+	if dst.Lo != nil {
+		dst.Lo, dst.Hi = dst.Lo[:0], dst.Hi[:0]
+	}
+}
+
+// SetUniv makes dst the universe box in k dimensions, reusing its backing
+// arrays when possible.
+func (dst *Box) SetUniv(k int) {
+	dst.K = k
+	dst.Lo, dst.Hi = ensureLen(dst.Lo, k), ensureLen(dst.Hi, k)
+	for i := 0; i < k; i++ {
+		dst.Lo[i], dst.Hi[i] = math.Inf(-1), math.Inf(1)
+	}
+}
+
+// CopyInto copies b into dst, reusing dst's backing arrays when possible.
+func (b Box) CopyInto(dst *Box) {
+	if b.IsEmpty() {
+		dst.SetEmpty(b.K)
+		return
+	}
+	dst.K = b.K
+	dst.Lo, dst.Hi = ensureLen(dst.Lo, b.K), ensureLen(dst.Hi, b.K)
+	copy(dst.Lo, b.Lo)
+	copy(dst.Hi, b.Hi)
+}
+
+// MeetInto stores b ⊓ c into dst without allocating (after dst's arrays
+// have grown to dimension K once). dst may alias b or c.
+func (b Box) MeetInto(c Box, dst *Box) {
+	b.checkDim(c)
+	if b.IsEmpty() || c.IsEmpty() {
+		dst.SetEmpty(b.K)
+		return
+	}
+	dst.K = b.K
+	dst.Lo, dst.Hi = ensureLen(dst.Lo, b.K), ensureLen(dst.Hi, b.K)
+	for i := 0; i < b.K; i++ {
+		lo := math.Max(b.Lo[i], c.Lo[i])
+		hi := math.Min(b.Hi[i], c.Hi[i])
+		if lo > hi {
+			dst.SetEmpty(b.K)
+			return
+		}
+		dst.Lo[i], dst.Hi[i] = lo, hi
+	}
+}
+
+// JoinInto stores b ⊔ c into dst without allocating (after dst's arrays
+// have grown to dimension K once). dst may alias b or c.
+func (b Box) JoinInto(c Box, dst *Box) {
+	b.checkDim(c)
+	if b.IsEmpty() {
+		c.CopyInto(dst)
+		return
+	}
+	if c.IsEmpty() {
+		b.CopyInto(dst)
+		return
+	}
+	dst.K = b.K
+	dst.Lo, dst.Hi = ensureLen(dst.Lo, b.K), ensureLen(dst.Hi, b.K)
+	for i := 0; i < b.K; i++ {
+		dst.Lo[i] = math.Min(b.Lo[i], c.Lo[i])
+		dst.Hi[i] = math.Max(b.Hi[i], c.Hi[i])
 	}
 }
 

@@ -172,6 +172,65 @@ func randBox(a, b, c, d float64) Box {
 
 // Property: boxes form a lattice — Meet is the greatest lower bound and
 // Join the least upper bound w.r.t. Contains.
+func TestInPlaceOps(t *testing.T) {
+	a, b := Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)
+	var dst Box
+	a.MeetInto(b, &dst)
+	if !dst.Equal(a.Meet(b)) {
+		t.Errorf("MeetInto = %v, want %v", dst, a.Meet(b))
+	}
+	a.JoinInto(b, &dst)
+	if !dst.Equal(a.Join(b)) {
+		t.Errorf("JoinInto = %v, want %v", dst, a.Join(b))
+	}
+	// Disjoint meet empties the destination but keeps its buffers.
+	far := Rect(50, 50, 60, 60)
+	a.MeetInto(far, &dst)
+	if !dst.IsEmpty() {
+		t.Errorf("disjoint MeetInto = %v, want empty", dst)
+	}
+	// The emptied destination is reusable without reallocation.
+	a.JoinInto(far, &dst)
+	if !dst.Equal(Rect(0, 0, 60, 60)) {
+		t.Errorf("JoinInto after empty = %v", dst)
+	}
+	// Joins against the empty box copy the other operand.
+	Empty(2).JoinInto(b, &dst)
+	if !dst.Equal(b) {
+		t.Errorf("JoinInto with empty lhs = %v, want %v", dst, b)
+	}
+	b.CopyInto(&dst)
+	dst.Lo[0] = -99
+	if b.Lo[0] == -99 {
+		t.Error("CopyInto shares backing arrays with the source")
+	}
+	dst.SetUniv(2)
+	if !dst.IsUniv() || !dst.Equal(Univ(2)) {
+		t.Errorf("SetUniv = %v", dst)
+	}
+	dst.SetEmpty(2)
+	if !dst.IsEmpty() || dst.K != 2 {
+		t.Errorf("SetEmpty = %v", dst)
+	}
+	if Univ(2).IsEmpty() || !Univ(2).IsUniv() || Rect(0, 0, 1, 1).IsUniv() || Empty(2).IsUniv() {
+		t.Error("IsUniv misclassifies")
+	}
+}
+
+// TestInPlaceOpsAliasing checks the documented aliasing contract: the
+// destination may be one of the operands.
+func TestInPlaceOpsAliasing(t *testing.T) {
+	acc := Rect(0, 0, 4, 4)
+	acc.MeetInto(Rect(2, 2, 6, 6), &acc)
+	if !acc.Equal(Rect(2, 2, 4, 4)) {
+		t.Errorf("self MeetInto = %v", acc)
+	}
+	acc.JoinInto(Rect(10, 10, 12, 12), &acc)
+	if !acc.Equal(Rect(2, 2, 12, 12)) {
+		t.Errorf("self JoinInto = %v", acc)
+	}
+}
+
 func TestQuickBoxLattice(t *testing.T) {
 	check := func(a, b, c, d, e, f, g, h float64) bool {
 		x := randBox(a, b, c, d)

@@ -2,6 +2,7 @@ package bbox
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -122,16 +123,17 @@ func (f *Func) Eval(k int, env []Box) Box {
 	}
 }
 
-// FreeVars returns the sorted variable indices used by f.
+// FreeVars returns the sorted variable indices used by f. There is no cap
+// on the index range: plans with more than 64 variables report every free
+// variable.
 func (f *Func) FreeVars() []int {
 	seen := map[int]bool{}
 	f.collect(seen)
-	var out []int
-	for v := 0; v < 64; v++ {
-		if seen[v] {
-			out = append(out, v)
-		}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -77,6 +77,16 @@ func TestFuncFreeVarsAndBind(t *testing.T) {
 	}
 }
 
+// TestFuncFreeVarsBeyond64 guards the removed 64-variable cap: plans with
+// larger variable indices must not silently drop free variables.
+func TestFuncFreeVarsBeyond64(t *testing.T) {
+	f := JoinFunc(MeetFunc(VarFunc(3), VarFunc(200)), VarFunc(64))
+	vars := f.FreeVars()
+	if len(vars) != 3 || vars[0] != 3 || vars[1] != 64 || vars[2] != 200 {
+		t.Errorf("FreeVars = %v, want [3 64 200]", vars)
+	}
+}
+
 func TestFuncString(t *testing.T) {
 	f := JoinFunc(VarFunc(1), MeetFunc(VarFunc(0), VarFunc(2)))
 	if got := f.String(); got != "[x1] v [x0] ^ [x2]" {

@@ -42,10 +42,35 @@ func Diff(alg Algebra, a, b Element) Element {
 	return alg.Meet(a, alg.Complement(b))
 }
 
+// Leqer is an optional fast path: algebras whose containment test is much
+// cheaper than materializing a ∧ ¬b (the region algebra refutes it from
+// bounding boxes) implement it, and Leq dispatches to it.
+type Leqer interface {
+	Leq(a, b Element) bool
+}
+
+// Overlapper is an optional fast path for the a ∧ b ≠ 0 test, analogous
+// to Leqer.
+type Overlapper interface {
+	Overlaps(a, b Element) bool
+}
+
 // Leq reports a ≤ b (a ⊑ b in the paper's containment notation), i.e.
-// a ∧ ¬b = 0.
+// a ∧ ¬b = 0. Algebras implementing Leqer answer directly.
 func Leq(alg Algebra, a, b Element) bool {
+	if l, ok := alg.(Leqer); ok {
+		return l.Leq(a, b)
+	}
 	return alg.IsBottom(Diff(alg, a, b))
+}
+
+// Overlaps reports a ∧ b ≠ 0. Algebras implementing Overlapper answer
+// directly, without building the meet.
+func Overlaps(alg Algebra, a, b Element) bool {
+	if o, ok := alg.(Overlapper); ok {
+		return o.Overlaps(a, b)
+	}
+	return !alg.IsBottom(alg.Meet(a, b))
 }
 
 // Xor returns the symmetric difference (a ∧ ¬b) ∨ (¬a ∧ b).

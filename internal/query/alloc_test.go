@@ -1,0 +1,148 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+// These tests pin the PR's tentpole — an allocation-free per-candidate
+// path — against backsliding. BENCH_PR4.json tracks the absolute numbers;
+// these are the hard floors.
+
+// allocTestSetup builds a store whose layer holds n small objects inside
+// the bounding box of an L-shaped parameter region C but outside C itself:
+// every object passes the index's bounding-box filter and is rejected by
+// the exact solved-form filter, exercising both per-candidate paths.
+func allocTestSetup(n int) (*spatialdb.Store, *Plan, map[string]*region.Region) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 100, 100), spatialdb.RTree)
+	for i := 0; i < n; i++ {
+		x := 15 + float64(i%28)
+		y := 15 + float64((i/28)%28)
+		store.MustInsert("objs", fmt.Sprintf("o%d", i),
+			region.FromBox(bbox.Rect(x, y, x+0.5, y+0.5)))
+	}
+	q := New()
+	x, c := q.Sys.Var("x"), q.Sys.Var("C")
+	q.Sys.Subset(x, c)
+	q.From("x", "objs")
+	plan, err := Compile(q, store)
+	if err != nil {
+		panic(err)
+	}
+	// C is an L: its bounding box [0,0]x[50,50] covers every object, the
+	// region itself covers none.
+	params := map[string]*region.Region{"C": region.FromBoxes(2,
+		bbox.Rect(0, 0, 50, 10), bbox.Rect(0, 0, 10, 50))}
+	return store, plan, params
+}
+
+// TestSpecIntoAllocFree pins SpecInto (the executor's form of
+// StepBoxPlan.Spec) at zero steady-state allocations.
+func TestSpecIntoAllocFree(t *testing.T) {
+	_, plan, params := allocTestSetup(4)
+	envBox := make([]bbox.Box, plan.Query.Sys.Vars.Len())
+	v, _ := plan.Query.Sys.Vars.Lookup("C")
+	envBox[v] = params["C"].BoundingBox()
+	var scr specScratch
+	if _, ok := plan.Steps[0].SpecInto(2, envBox, &scr); !ok {
+		t.Fatal("spec unexpectedly unsatisfiable")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := plan.Steps[0].SpecInto(2, envBox, &scr); !ok {
+			t.Fatal("spec unexpectedly unsatisfiable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SpecInto allocates %v per call with a warm scratch, want 0", allocs)
+	}
+}
+
+// TestRunCtxCandidateLoopAllocs pins the full executor: a run examining
+// ~500 candidates must stay within a small fixed allocation budget — the
+// per-run setup (algebra, frame, scratch, stats) — proving the candidate
+// loop itself is allocation-free. Before this PR the same run cost ~25
+// allocations per candidate.
+func TestRunCtxCandidateLoopAllocs(t *testing.T) {
+	store, plan, params := allocTestSetup(500)
+	run := func() *Result {
+		res, err := plan.RunCtx(context.Background(), store, params, DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Stats.Candidates < 500 || res.Stats.ExactRejects < 500 || len(res.Solutions) != 0 {
+		t.Fatalf("setup does not exercise the loop: %+v", res.Stats)
+	}
+	allocs := testing.AllocsPerRun(20, func() { run() })
+	// ~51 fixed allocations per run measured at commit time; the bound
+	// leaves 2x headroom while still failing if per-candidate work ever
+	// allocates again (500 candidates x 1 alloc would be ~4x over).
+	const budget = 128
+	if allocs > budget {
+		t.Fatalf("RunCtx allocates %v per run over %d candidates, want <= %d",
+			allocs, res.Stats.Candidates, budget)
+	}
+}
+
+// TestExactFilterUniverseRelative pins the algebra's containment
+// semantics: stored regions may extend beyond the store universe, and the
+// exact filter must treat the excess as a null set (the generic
+// IsBottom(x ∧ ¬y) path complements within the universe, so the Leqer
+// fast path has to agree). Regression: an early version of the fast path
+// used absolute containment and silently dropped such objects, breaking
+// the every-configuration-same-solutions contract.
+func TestExactFilterUniverseRelative(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 100, 100), spatialdb.RTree)
+	store.MustInsert("objs", "spill", region.FromBox(bbox.Rect(90, 90, 110, 110)))
+	q := New()
+	x, c := q.Sys.Var("x"), q.Sys.Var("C")
+	q.Sys.Subset(x, c)
+	q.From("x", "objs")
+	plan, err := Compile(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]*region.Region{"C": region.FromBox(bbox.Rect(0, 0, 100, 100))}
+	// (UseIndex stays off: the bounding-box filter sees the raw, unclipped
+	// box — an object spilling past the universe is outside the paper's
+	// data model for the index path, and ZOrderIdx rejects such inserts.)
+	for _, opts := range []Options{
+		{UseIndex: false, UseExact: false},
+		{UseIndex: false, UseExact: true},
+	} {
+		res, err := plan.Run(store, params, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Solutions) != 1 {
+			t.Errorf("opts %+v: %d solutions, want 1 (object spilling past the universe must count as contained)",
+				opts, len(res.Solutions))
+		}
+	}
+}
+
+// TestScanExactLoopAllocs covers the other ablation: no index, exact
+// filter only — the fast Leq refutation must keep the scan allocation-free
+// per candidate too.
+func TestScanExactLoopAllocs(t *testing.T) {
+	store, plan, params := allocTestSetup(500)
+	opts := Options{UseIndex: false, UseExact: true}
+	run := func() {
+		if _, err := plan.RunCtx(context.Background(), store, params, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(20, func() { run() })
+	const budget = 128
+	if allocs > budget {
+		t.Fatalf("scan+exact RunCtx allocates %v per run, want <= %d", allocs, budget)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/boolalg"
 	"repro/internal/region"
 	"repro/internal/spatialdb"
+	"repro/internal/triangular"
 )
 
 // resolveLayers looks the step layers up without creating them. The
@@ -39,6 +40,12 @@ func stepLayerNames(p *Plan) []string {
 // serial executor owns a single frame, each parallel worker owns its
 // own, and all frames of a run share one execCtl (cancellation and the
 // solution limit are run-wide, statistics and buffers are frame-local).
+//
+// The frame owns all hot-path scratch — one specScratch per step for the
+// compiled box programs, the environment and tuple buffers — so the
+// per-candidate work allocates nothing in steady state. Workers never
+// share a frame; DESIGN.md §"Execution cost model" spells the ownership
+// out.
 type execFrame struct {
 	p       *Plan
 	ctl     *execCtl
@@ -49,25 +56,43 @@ type execFrame struct {
 	env     []boolalg.Element
 	envBox  []bbox.Box
 	tuple   []spatialdb.Object
+	spec    []specScratch // per-step scratch; step i's spec must outlive the recursion below it
 	stats   *Stats
 	emit    func(Solution) bool // false stops this frame's search
 	stopped bool                // the emit callback asked to stop
+}
+
+func newExecFrame(p *Plan, ctl *execCtl, opts Options, alg *region.Algebra, layers []*spatialdb.Layer, k int, env []boolalg.Element, envBox []bbox.Box, stats *Stats, emit func(Solution) bool) *execFrame {
+	return &execFrame{
+		p: p, ctl: ctl, opts: opts, alg: alg, layers: layers, k: k,
+		env: env, envBox: envBox,
+		tuple: make([]spatialdb.Object, len(p.Steps)),
+		spec:  make([]specScratch, len(p.Steps)),
+		stats: stats, emit: emit,
+	}
 }
 
 func (f *execFrame) halted() bool { return f.stopped || f.ctl.halted() }
 
 // run is the incremental recursion from step i: evaluate the step's box
 // functions against the bound prefix, issue ONE range query, filter and
-// extend. Cancellation is polled every cancelCheckEvery candidates and
-// unwinds the whole recursion via the visit callbacks' return value.
+// extend. The exact filter's formula values depend only on the prefix, so
+// they are evaluated once here and each candidate pays only the
+// containment/overlap predicates. Cancellation is polled every
+// cancelCheckEvery candidates and unwinds the whole recursion via the
+// visit callbacks' return value.
 func (f *execFrame) run(i int) {
 	if i == len(f.p.Steps) {
 		f.final()
 		return
 	}
-	sp := f.p.Steps[i]
-	step := f.p.Form.Steps[i]
+	sp := &f.p.Steps[i]
+	step := &f.p.Form.Steps[i]
 
+	// exact is assigned after the spec prune below — a statically
+	// unsatisfiable prefix must not pay the formula evaluation — but is
+	// declared here so the closure sees the assignment.
+	var exact triangular.StepValues
 	consider := func(o spatialdb.Object) bool {
 		f.stats.Candidates++
 		if f.stats.Candidates%cancelCheckEvery == 0 {
@@ -76,7 +101,7 @@ func (f *execFrame) run(i int) {
 		if f.halted() {
 			return false
 		}
-		if f.opts.UseExact && !step.Satisfied(f.alg, f.env, o.Reg) {
+		if f.opts.UseExact && !step.SatisfiedWith(f.alg, exact, o.Reg) {
 			f.stats.ExactRejects++
 			return true
 		}
@@ -91,12 +116,18 @@ func (f *execFrame) run(i int) {
 	}
 
 	if f.opts.UseIndex {
-		spec, ok := sp.Spec(f.k, f.envBox)
+		spec, ok := sp.SpecInto(f.k, f.envBox, &f.spec[i])
 		if !ok {
 			return // this prefix admits no extension
 		}
+		if f.opts.UseExact {
+			exact = step.Values(f.alg, f.env)
+		}
 		f.stats.DB.Add(f.layers[i].SearchStats(spec, consider))
 	} else {
+		if f.opts.UseExact {
+			exact = step.Values(f.alg, f.env)
+		}
 		f.layers[i].All(consider)
 	}
 }
@@ -182,11 +213,13 @@ func (p *Plan) RunStream(ctx context.Context, store *spatialdb.Store, params map
 	defer store.RUnlock()
 	layers, err := resolveLayers(store, stepLayerNames(p))
 	if err != nil {
-		return Stats{}, err
+		ctl.finish(&stats)
+		return stats, err
 	}
 
 	if p.Form.Unsat || !p.Form.Ground.Satisfied(alg, env) {
 		stats.GroundFailed = true
+		ctl.finish(&stats)
 		return stats, nil
 	}
 
@@ -197,11 +230,7 @@ func (p *Plan) RunStream(ctx context.Context, store *spatialdb.Store, params map
 			envBox[v] = env[v].(*region.Region).BoundingBox()
 		}
 	}
-	f := &execFrame{
-		p: p, ctl: ctl, opts: opts, alg: alg, layers: layers, k: k,
-		env: env, envBox: envBox, tuple: make([]spatialdb.Object, len(p.Steps)),
-		stats: &stats, emit: yield,
-	}
+	f := newExecFrame(p, ctl, opts, alg, layers, k, env, envBox, &stats, yield)
 	f.run(0)
 	ctl.finish(&stats)
 	return stats, nil

@@ -9,6 +9,7 @@ import (
 	"repro/internal/boolalg"
 	"repro/internal/region"
 	"repro/internal/spatialdb"
+	"repro/internal/triangular"
 )
 
 // RunParallel executes the plan like Run but fans the first retrieval
@@ -64,6 +65,7 @@ func (p *Plan) RunParallelCtx(ctx context.Context, store *spatialdb.Store, param
 
 	if p.Form.Unsat || !p.Form.Ground.Satisfied(alg, env) {
 		res.Stats.GroundFailed = true
+		ctl.finish(&res.Stats)
 		return res, nil
 	}
 
@@ -76,9 +78,11 @@ func (p *Plan) RunParallelCtx(ctx context.Context, store *spatialdb.Store, param
 	}
 
 	// Stage 1: gather the first step's candidates serially (one range
-	// query), applying the same filters the serial executor would.
+	// query), applying the same filters the serial executor would — with
+	// the exact filter's prefix-constant values hoisted out of the scan.
 	sp := p.Steps[0]
 	step := p.Form.Steps[0]
+	var exact triangular.StepValues // assigned after the spec prune below
 	var firsts []spatialdb.Object
 	firstStats := Stats{}
 	gather := func(o spatialdb.Object) bool {
@@ -89,7 +93,7 @@ func (p *Plan) RunParallelCtx(ctx context.Context, store *spatialdb.Store, param
 		if ctl.halted() {
 			return false
 		}
-		if opts.UseExact && !step.Satisfied(alg, env, o.Reg) {
+		if opts.UseExact && !step.SatisfiedWith(alg, exact, o.Reg) {
 			firstStats.ExactRejects++
 			return true
 		}
@@ -100,10 +104,17 @@ func (p *Plan) RunParallelCtx(ctx context.Context, store *spatialdb.Store, param
 	if opts.UseIndex {
 		spec, ok := sp.Spec(k, envBox)
 		if !ok {
+			ctl.finish(&res.Stats)
 			return res, nil
+		}
+		if opts.UseExact {
+			exact = step.Values(alg, env)
 		}
 		firstStats.DB.Add(layers[0].SearchStats(spec, gather))
 	} else {
+		if opts.UseExact {
+			exact = step.Values(alg, env)
+		}
 		layers[0].All(gather)
 	}
 
@@ -121,14 +132,11 @@ func (p *Plan) RunParallelCtx(ctx context.Context, store *spatialdb.Store, param
 			defer wg.Done()
 			var wstats Stats
 			var wsols []Solution
-			f := &execFrame{
-				p: p, ctl: ctl, opts: opts, alg: alg, layers: layers, k: k,
-				env:    append([]boolalg.Element(nil), env...),
-				envBox: append([]bbox.Box(nil), envBox...),
-				tuple:  make([]spatialdb.Object, len(p.Steps)),
-				stats:  &wstats,
-				emit:   func(s Solution) bool { wsols = append(wsols, s); return true },
-			}
+			f := newExecFrame(p, ctl, opts, alg, layers, k,
+				append([]boolalg.Element(nil), env...),
+				append([]bbox.Box(nil), envBox...),
+				&wstats,
+				func(s Solution) bool { wsols = append(wsols, s); return true })
 			for {
 				if ctl.poll() || f.halted() {
 					break

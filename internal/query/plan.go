@@ -16,21 +16,40 @@ import (
 // constraint ⌈x⌉ ⊓ U_P ≠ ∅ (§4's conditional approximation).
 type DiseqBoxPlan struct {
 	P, Q *bbox.Func
+
+	p, q *bbox.Program // compiled forms of P and Q
 }
 
-// StepBoxPlan is the compiled per-variable range-query template.
+// StepBoxPlan is the compiled per-variable range-query template. The
+// *bbox.Func trees are the readable plan (Explain, tests); Compile also
+// lowers each to a flat *bbox.Program, which the executors evaluate per
+// candidate prefix with zero steady-state allocations (SpecInto).
 type StepBoxPlan struct {
 	Var    int
 	Layer  string
 	Lower  *bbox.Func // approximates the solved lower bound s from below
 	Upper  *bbox.Func // approximates the solved upper bound t from above
 	Diseqs []DiseqBoxPlan
+
+	lower, upper *bbox.Program // compiled forms of Lower and Upper
+}
+
+// compilePrograms lowers the step's function trees to programs; Compile
+// calls it once per step, so executors never compile in the hot path.
+func (sp *StepBoxPlan) compilePrograms() {
+	sp.lower = sp.Lower.Compile()
+	sp.upper = sp.Upper.Compile()
+	for i := range sp.Diseqs {
+		sp.Diseqs[i].p = sp.Diseqs[i].P.Compile()
+		sp.Diseqs[i].q = sp.Diseqs[i].Q.Compile()
+	}
 }
 
 // Spec instantiates the range query for a concrete prefix (envBox binds
 // the bounding boxes of parameters and earlier variables). The second
 // result is false when the step is statically unsatisfiable for this
-// prefix — the whole prefix can be pruned.
+// prefix — the whole prefix can be pruned. The returned spec owns its
+// boxes; executors use SpecInto, the scratch-backed form.
 func (sp StepBoxPlan) Spec(k int, envBox []bbox.Box) (bbox.RangeSpec, bool) {
 	spec := bbox.RangeSpec{
 		K:     k,
@@ -49,11 +68,60 @@ func (sp StepBoxPlan) Spec(k int, envBox []bbox.Box) (bbox.RangeSpec, bool) {
 			// Both branches empty: the disequation cannot hold.
 			return bbox.RangeSpec{}, false
 		}
-		if p.Equal(bbox.Univ(k)) {
+		if p.IsUniv() {
 			// ⌈x⌉ ⊓ universe ≠ ∅ holds for every stored object: trivial.
 			continue
 		}
 		spec.Overlaps = append(spec.Overlaps, p)
+	}
+	if spec.Unsatisfiable() {
+		return bbox.RangeSpec{}, false
+	}
+	return spec, true
+}
+
+// specScratch is the per-step, per-frame evaluation state SpecInto reuses
+// across candidates: the program stack plus owned boxes for the spec's
+// bounds and overlap witnesses. A warm scratch makes SpecInto
+// allocation-free.
+type specScratch struct {
+	eval         bbox.Scratch
+	lower, upper bbox.Box
+	overlaps     []bbox.Box
+}
+
+// SpecInto is Spec evaluated through the step's compiled programs into
+// caller-owned scratch. The returned spec's boxes alias scr and stay valid
+// only until the next SpecInto with the same scratch — exactly the
+// executor's use: build the spec, run the index search, drop it. Plans
+// built without Compile (no programs) fall back to the tree-walking Spec.
+func (sp StepBoxPlan) SpecInto(k int, envBox []bbox.Box, scr *specScratch) (bbox.RangeSpec, bool) {
+	if sp.lower == nil {
+		return sp.Spec(k, envBox)
+	}
+	sp.lower.Eval(k, envBox, &scr.eval).CopyInto(&scr.lower)
+	sp.upper.Eval(k, envBox, &scr.eval).CopyInto(&scr.upper)
+	spec := bbox.RangeSpec{K: k, Lower: scr.lower, Upper: scr.upper}
+	n := 0
+	for _, d := range sp.Diseqs {
+		if !d.q.Eval(k, envBox, &scr.eval).IsEmpty() {
+			continue // ¬x∧Q can witness the disequation: trivially true
+		}
+		p := d.p.Eval(k, envBox, &scr.eval)
+		if p.IsEmpty() {
+			return bbox.RangeSpec{}, false // no branch can witness it
+		}
+		if p.IsUniv() {
+			continue // overlaps-universe holds for every stored object
+		}
+		if n == len(scr.overlaps) {
+			scr.overlaps = append(scr.overlaps, bbox.Box{})
+		}
+		p.CopyInto(&scr.overlaps[n])
+		n++
+	}
+	if n > 0 {
+		spec.Overlaps = scr.overlaps[:n]
 	}
 	if spec.Unsatisfiable() {
 		return bbox.RangeSpec{}, false
@@ -102,6 +170,7 @@ func Compile(q *Query, store *spatialdb.Store) (*Plan, error) {
 			}
 			sp.Diseqs = append(sp.Diseqs, dp)
 		}
+		sp.compilePrograms()
 		plan.Steps = append(plan.Steps, sp)
 	}
 	return plan, nil

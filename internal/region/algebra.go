@@ -63,5 +63,21 @@ func (a *Algebra) Complement(x boolalg.Element) boolalg.Element {
 // IsBottom implements boolalg.Algebra.
 func (a *Algebra) IsBottom(x boolalg.Element) bool { return x.(*Region).IsEmpty() }
 
+// Leq implements boolalg.Leqer: x ⊑ y via Region.LeqIn, which refutes
+// containment from box geometry before computing any difference. This is
+// the executor's per-candidate containment test, so the fast path
+// matters. Containment is relative to the universe — stored regions may
+// extend beyond it, and the generic IsBottom(x ∧ ¬y) path ignores that
+// excess because ¬ complements within the universe; LeqIn must agree.
+func (a *Algebra) Leq(x, y boolalg.Element) bool {
+	return x.(*Region).LeqIn(a.universe, y.(*Region))
+}
+
+// Overlaps implements boolalg.Overlapper: x ∧ y ≠ 0 decided box-pairwise
+// without materializing the intersection.
+func (a *Algebra) Overlaps(x, y boolalg.Element) bool {
+	return x.(*Region).Overlaps(y.(*Region))
+}
+
 // Equal implements boolalg.Algebra.
 func (a *Algebra) Equal(x, y boolalg.Element) bool { return x.(*Region).Equal(y.(*Region)) }

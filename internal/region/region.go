@@ -101,36 +101,73 @@ func positiveVolume(b bbox.Box) bool {
 // subtractBox returns the interior-disjoint decomposition of a \ b as up
 // to 2k boxes (the classical slab split).
 func subtractBox(a, b bbox.Box) []bbox.Box {
-	inter := a.Meet(b)
-	if !positiveVolume(inter) {
-		if positiveVolume(a) {
-			return []bbox.Box{a}
-		}
-		return nil
+	return appendSubtractBox(nil, a, b)
+}
+
+// appendSubtractBox appends the decomposition of a \ b to dst and returns
+// it — the executor-facing form of subtractBox, allocating only for the
+// emitted slabs (and, for a untouched by b, not even that: a itself is
+// appended). The per-call working bounds live on the stack for k ≤ 4.
+func appendSubtractBox(dst []bbox.Box, a, b bbox.Box) []bbox.Box {
+	if !positiveVolume(a) {
+		return dst
 	}
-	var out []bbox.Box
-	cur := a
+	// Compute the interior overlap of a and b without materializing it.
+	overlap := positiveVolume(b)
+	if overlap {
+		for i := 0; i < a.K; i++ {
+			if math.Max(a.Lo[i], b.Lo[i]) >= math.Min(a.Hi[i], b.Hi[i]) {
+				overlap = false
+				break
+			}
+		}
+	}
+	if !overlap {
+		return append(dst, a)
+	}
+	// cur tracks the shrinking remainder of a; stack-allocated up to 4-D.
+	var loArr, hiArr [4]float64
+	var curLo, curHi []float64
+	if a.K <= len(loArr) {
+		curLo, curHi = loArr[:a.K], hiArr[:a.K]
+	} else {
+		curLo, curHi = make([]float64, a.K), make([]float64, a.K)
+	}
+	copy(curLo, a.Lo)
+	copy(curHi, a.Hi)
 	for i := 0; i < a.K; i++ {
-		if inter.Lo[i] > cur.Lo[i] {
-			below := cloneBox(cur)
-			below.Hi[i] = inter.Lo[i]
-			if positiveVolume(below) {
-				out = append(out, below)
-			}
-			cur = cloneBox(cur)
-			cur.Lo[i] = inter.Lo[i]
+		ilo := math.Max(a.Lo[i], b.Lo[i])
+		ihi := math.Min(a.Hi[i], b.Hi[i])
+		if ilo > curLo[i] {
+			dst = appendSlab(dst, curLo, curHi, i, curLo[i], ilo)
+			curLo[i] = ilo
 		}
-		if inter.Hi[i] < cur.Hi[i] {
-			above := cloneBox(cur)
-			above.Lo[i] = inter.Hi[i]
-			if positiveVolume(above) {
-				out = append(out, above)
-			}
-			cur = cloneBox(cur)
-			cur.Hi[i] = inter.Hi[i]
+		if ihi < curHi[i] {
+			dst = appendSlab(dst, curLo, curHi, i, ihi, curHi[i])
+			curHi[i] = ihi
 		}
 	}
-	return out
+	return dst
+}
+
+// appendSlab appends the box (curLo, curHi) with dimension i replaced by
+// [lo, hi], skipping degenerate slabs.
+func appendSlab(dst []bbox.Box, curLo, curHi []float64, i int, lo, hi float64) []bbox.Box {
+	if hi <= lo {
+		return dst
+	}
+	for d := range curLo {
+		if d != i && curHi[d] <= curLo[d] {
+			return dst
+		}
+	}
+	slab := bbox.Box{
+		K:  len(curLo),
+		Lo: append([]float64(nil), curLo...),
+		Hi: append([]float64(nil), curHi...),
+	}
+	slab.Lo[i], slab.Hi[i] = lo, hi
+	return append(dst, slab)
 }
 
 func cloneBox(b bbox.Box) bbox.Box {
@@ -141,23 +178,68 @@ func cloneBox(b bbox.Box) bbox.Box {
 	}
 }
 
-// Difference returns r \ s.
+// Difference returns r \ s. Subtrahend boxes that touch no box of the
+// running remainder are skipped outright, and the remainder ping-pongs
+// between two buffers instead of allocating a fresh slice per subtrahend
+// box — regions untouched by s come back as r itself, allocation-free.
 func (r *Region) Difference(s *Region) *Region {
 	r.checkDim(s)
+	if r.IsEmpty() || s.IsEmpty() {
+		return r
+	}
 	cur := r.boxes
+	changed := false
+	var bufA, bufB []bbox.Box
+	useA := true
 	for _, sb := range s.boxes {
-		var next []bbox.Box
-		for _, rb := range cur {
-			next = append(next, subtractBox(rb, sb)...)
+		if !overlapsAny(sb, cur) {
+			continue
 		}
-		cur = next
+		out := bufB[:0]
+		if useA {
+			out = bufA[:0]
+		}
+		for _, rb := range cur {
+			out = appendSubtractBox(out, rb, sb)
+		}
+		if useA {
+			bufA = out
+		} else {
+			bufB = out
+		}
+		useA = !useA
+		cur, changed = out, true
 		if len(cur) == 0 {
 			break
 		}
 	}
+	if !changed {
+		return r
+	}
 	out := &Region{k: r.k, boxes: cur}
 	out.compact()
 	return out
+}
+
+// interiorOverlaps reports that a ⊓ b has positive volume, allocating
+// nothing.
+func interiorOverlaps(a, b bbox.Box) bool {
+	for i := 0; i < a.K; i++ {
+		if a.Lo[i] >= b.Hi[i] || b.Lo[i] >= a.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// overlapsAny reports whether b's interior meets any box in boxes.
+func overlapsAny(b bbox.Box, boxes []bbox.Box) bool {
+	for _, rb := range boxes {
+		if interiorOverlaps(b, rb) {
+			return true
+		}
+	}
+	return false
 }
 
 // Union returns r ∪ s.
@@ -175,16 +257,17 @@ func (r *Region) Union(s *Region) *Region {
 	return out
 }
 
-// Intersect returns r ∩ s.
+// Intersect returns r ∩ s. Box pairs without interior overlap are skipped
+// before any allocation happens.
 func (r *Region) Intersect(s *Region) *Region {
 	r.checkDim(s)
 	var out []bbox.Box
 	for _, rb := range r.boxes {
 		for _, sb := range s.boxes {
-			m := rb.Meet(sb)
-			if positiveVolume(m) {
-				out = append(out, m)
+			if !interiorOverlaps(rb, sb) {
+				continue
 			}
+			out = append(out, rb.Meet(sb))
 		}
 	}
 	res := &Region{k: r.k, boxes: out}
@@ -202,11 +285,56 @@ func (r *Region) Equal(s *Region) bool {
 	return r.Difference(s).IsEmpty() && s.Difference(r).IsEmpty()
 }
 
-// Leq reports r ⊑ s up to null sets.
-func (r *Region) Leq(s *Region) bool { return r.Difference(s).IsEmpty() }
+// Leq reports r ⊑ s up to null sets. A box of r that misses every box of
+// s refutes containment immediately, without materializing the difference
+// — the common case for the executor's per-candidate exact filter.
+func (r *Region) Leq(s *Region) bool {
+	r.checkDim(s)
+	if r.IsEmpty() {
+		return true
+	}
+	for _, rb := range r.boxes {
+		if !overlapsAny(rb, s.boxes) {
+			return false
+		}
+	}
+	return r.Difference(s).IsEmpty()
+}
 
-// Overlaps reports that r ∩ s has positive measure.
-func (r *Region) Overlaps(s *Region) bool { return !r.Intersect(s).IsEmpty() }
+// LeqIn reports r ⊑ s relative to the universe box u: (r \ s) ∩ u has
+// measure zero. This is containment as the region *algebra* sees it —
+// elements live inside the universe, and any excess outside it is a null
+// set there (the generic boolalg.Leq computes a ∧ ¬b with ¬ relative to
+// the universe, which clips the same way). A box of r inside u that
+// misses every box of s refutes containment immediately.
+func (r *Region) LeqIn(u bbox.Box, s *Region) bool {
+	r.checkDim(s)
+	if r.IsEmpty() {
+		return true
+	}
+	for _, rb := range r.boxes {
+		if interiorOverlaps(rb, u) && !overlapsAny(rb, s.boxes) {
+			return false
+		}
+	}
+	diff := r.Difference(s)
+	if diff.IsEmpty() {
+		return true
+	}
+	return !overlapsAny(u, diff.boxes)
+}
+
+// Overlaps reports that r ∩ s has positive measure, without materializing
+// the intersection.
+func (r *Region) Overlaps(s *Region) bool {
+	r.checkDim(s)
+	for _, rb := range r.boxes {
+		if overlapsAny(rb, s.boxes) {
+			return true
+		}
+	}
+	return false
+}
 
 // ContainsPoint reports whether p lies in (the closure of) the region.
 func (r *Region) ContainsPoint(p []float64) bool {
@@ -240,26 +368,94 @@ func (r *Region) Split() *Region {
 // compact merges pairs of boxes that tile a larger box (equal in all
 // dimensions but one, adjacent in that one). This keeps decompositions
 // small under repeated complement/union without affecting semantics.
+//
+// Instead of the quadratic scan-all-pairs-and-restart loop this sweeps one
+// axis at a time: boxes are sorted so that boxes sharing their projection
+// on every *other* axis are contiguous and ordered along the merge axis,
+// then a single pass fuses adjacent runs. The sweep repeats over the axes
+// until a full round merges nothing (a merge along one axis can enable one
+// along another), which is the same fixpoint the old loop reached —
+// O(rounds · k · n log n) instead of O(merges · n²).
 func (r *Region) compact() {
 	if len(r.boxes) < 2 {
 		return
 	}
-	merged := true
-	for merged {
-		merged = false
-	outer:
-		for i := 0; i < len(r.boxes); i++ {
-			for j := i + 1; j < len(r.boxes); j++ {
-				if m, ok := tryMerge(r.boxes[i], r.boxes[j]); ok {
-					r.boxes[i] = m
-					r.boxes = append(r.boxes[:j], r.boxes[j+1:]...)
-					merged = true
-					break outer
-				}
+	for changed := true; changed; {
+		changed = false
+		for d := 0; d < r.k && len(r.boxes) > 1; d++ {
+			if r.mergeAxis(d) {
+				changed = true
 			}
 		}
 	}
 	sort.Slice(r.boxes, func(i, j int) bool { return boxLess(r.boxes[i], r.boxes[j]) })
+}
+
+// mergeAxis fuses boxes adjacent along axis d in one sorted pass. Equal
+// boxes (which tile trivially) are deduplicated as the old pairwise merge
+// did. A fused box gets fresh backing arrays — the inputs may share theirs
+// with other regions — but a run of fusions clones only once.
+func (r *Region) mergeAxis(d int) bool {
+	boxes := r.boxes
+	sort.Slice(boxes, func(i, j int) bool { return profileLess(boxes[i], boxes[j], d) })
+	out := boxes[:0]
+	merged := false
+	lastOwned := false
+	for _, b := range boxes {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if sameProfile(*last, b, d) {
+				if last.Lo[d] == b.Lo[d] && last.Hi[d] == b.Hi[d] {
+					merged = true // duplicate box: drop it
+					continue
+				}
+				if last.Hi[d] == b.Lo[d] {
+					if !lastOwned {
+						*last = cloneBox(*last)
+						lastOwned = true
+					}
+					last.Hi[d] = b.Hi[d]
+					merged = true
+					continue
+				}
+			}
+		}
+		out = append(out, b)
+		lastOwned = false
+	}
+	r.boxes = out
+	return merged
+}
+
+// profileLess orders boxes lexicographically by their intervals on every
+// axis except d, then by their Lo on d — putting merge candidates for axis
+// d next to each other.
+func profileLess(a, b bbox.Box, d int) bool {
+	for i := 0; i < a.K; i++ {
+		if i == d {
+			continue
+		}
+		if a.Lo[i] != b.Lo[i] {
+			return a.Lo[i] < b.Lo[i]
+		}
+		if a.Hi[i] != b.Hi[i] {
+			return a.Hi[i] < b.Hi[i]
+		}
+	}
+	return a.Lo[d] < b.Lo[d]
+}
+
+// sameProfile reports that a and b agree on every axis except d.
+func sameProfile(a, b bbox.Box, d int) bool {
+	for i := 0; i < a.K; i++ {
+		if i == d {
+			continue
+		}
+		if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func boxLess(a, b bbox.Box) bool {
@@ -272,30 +468,6 @@ func boxLess(a, b bbox.Box) bool {
 		}
 	}
 	return false
-}
-
-// tryMerge merges two boxes tiling a larger box.
-func tryMerge(a, b bbox.Box) (bbox.Box, bool) {
-	diff := -1
-	for i := 0; i < a.K; i++ {
-		if a.Lo[i] == b.Lo[i] && a.Hi[i] == b.Hi[i] {
-			continue
-		}
-		if diff >= 0 {
-			return bbox.Box{}, false
-		}
-		diff = i
-	}
-	if diff < 0 {
-		return a, true // identical boxes
-	}
-	if a.Hi[diff] == b.Lo[diff] || b.Hi[diff] == a.Lo[diff] {
-		m := cloneBox(a)
-		m.Lo[diff] = math.Min(a.Lo[diff], b.Lo[diff])
-		m.Hi[diff] = math.Max(a.Hi[diff], b.Hi[diff])
-		return m, true
-	}
-	return bbox.Box{}, false
 }
 
 func (r *Region) checkDim(s *Region) {

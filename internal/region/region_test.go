@@ -255,6 +255,52 @@ func TestQuickDifferenceViaComplement(t *testing.T) {
 	}
 }
 
+// Property: the decomposition invariant survives the sort-based compact —
+// boxes stay pairwise interior-disjoint with positive volume, and the
+// fast Leq/Overlaps agree with their measure-theoretic definitions.
+func TestQuickInvariantsAndFastPredicates(t *testing.T) {
+	check := func(s1, s2 uint64) bool {
+		a, b := randRegion(s1), randRegion(s2)
+		for _, r := range []*Region{a.Union(b), a.Difference(b), a.Intersect(b)} {
+			for i, bi := range r.boxes {
+				if !positiveVolume(bi) {
+					return false
+				}
+				for _, bj := range r.boxes[i+1:] {
+					if interiorOverlaps(bi, bj) {
+						return false
+					}
+				}
+			}
+		}
+		if a.Leq(b) != a.Difference(b).IsEmpty() {
+			return false
+		}
+		// LeqIn is containment clipped to a universe: (a\b) ∩ u = (a∩u)\b.
+		u := rect(0, 0, 12, 12)
+		if a.LeqIn(u, b) != a.Intersect(FromBox(u)).Leq(b) {
+			return false
+		}
+		return a.Overlaps(b) == !a.Intersect(b).IsEmpty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferenceDisjointReturnsReceiver pins the allocation fast path: a
+// subtrahend that misses the region entirely must hand back the receiver.
+func TestDifferenceDisjointReturnsReceiver(t *testing.T) {
+	a := FromBoxes(2, rect(0, 0, 2, 2), rect(4, 4, 6, 6))
+	far := FromBox(rect(20, 20, 30, 30))
+	if got := a.Difference(far); got != a {
+		t.Errorf("Difference with disjoint subtrahend rebuilt the region")
+	}
+	if got := a.Difference(Empty(2)); got != a {
+		t.Errorf("Difference with empty subtrahend rebuilt the region")
+	}
+}
+
 // Property: ⌈a∪b⌉ = ⌈a⌉ ⊔ ⌈b⌉ and ⌈a∩b⌉ ⊑ ⌈a⌉ ⊓ ⌈b⌉ (Lemma 5).
 func TestQuickBoundingBoxHomomorphism(t *testing.T) {
 	check := func(s1, s2 uint64) bool {

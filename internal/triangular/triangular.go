@@ -174,28 +174,60 @@ func simplify(f *formula.Formula) (*formula.Formula, error) {
 	return s.FormulaOf(), nil
 }
 
-// SatisfiedStep checks the solved constraint exactly over an algebra:
-// env must bind all parameters and earlier variables, cand is the value
-// proposed for the step's variable. This is the executor's precise filter
-// (as opposed to the bounding-box filter compiled by internal/bbox).
-func (st Step) Satisfied(alg boolalg.Algebra, env []boolalg.Element, cand boolalg.Element) bool {
-	lower := formula.Eval(st.Lower, alg, env)
-	if !boolalg.Leq(alg, lower, cand) {
+// StepValues holds the step's formula values evaluated for a fixed prefix
+// (parameters and earlier variables). The step's formulas never mention
+// the step's own variable, so an executor evaluates them ONCE per prefix
+// with Values and then filters every candidate with SatisfiedWith — moving
+// the whole formula evaluation out of the per-candidate loop.
+type StepValues struct {
+	Lower, Upper boolalg.Element
+	P, Q         []boolalg.Element // per-disequation values, same index
+}
+
+// Values evaluates the step's formulas against env: the prefix-constant
+// part of the exact filter.
+func (st Step) Values(alg boolalg.Algebra, env []boolalg.Element) StepValues {
+	v := StepValues{
+		Lower: formula.Eval(st.Lower, alg, env),
+		Upper: formula.Eval(st.Upper, alg, env),
+	}
+	if len(st.Diseqs) > 0 {
+		v.P = make([]boolalg.Element, len(st.Diseqs))
+		v.Q = make([]boolalg.Element, len(st.Diseqs))
+		for i, d := range st.Diseqs {
+			v.P[i] = formula.Eval(d.P, alg, env)
+			v.Q[i] = formula.Eval(d.Q, alg, env)
+		}
+	}
+	return v
+}
+
+// SatisfiedWith checks the solved constraint against precomputed prefix
+// values. The disequation x∧P ∨ ¬x∧Q ≠ 0 holds iff x meets P or Q ⋢ x,
+// which needs no complement and lets the algebra's fast-path predicates
+// (boolalg.Leqer/Overlapper) answer without materializing any element.
+func (st Step) SatisfiedWith(alg boolalg.Algebra, v StepValues, cand boolalg.Element) bool {
+	if !boolalg.Leq(alg, v.Lower, cand) {
 		return false
 	}
-	upper := formula.Eval(st.Upper, alg, env)
-	if !boolalg.Leq(alg, cand, upper) {
+	if !boolalg.Leq(alg, cand, v.Upper) {
 		return false
 	}
-	for _, d := range st.Diseqs {
-		p := formula.Eval(d.P, alg, env)
-		q := formula.Eval(d.Q, alg, env)
-		val := alg.Join(alg.Meet(cand, p), alg.Meet(alg.Complement(cand), q))
-		if alg.IsBottom(val) {
+	for i := range v.P {
+		if !boolalg.Overlaps(alg, cand, v.P[i]) && boolalg.Leq(alg, v.Q[i], cand) {
 			return false
 		}
 	}
 	return true
+}
+
+// Satisfied checks the solved constraint exactly over an algebra: env must
+// bind all parameters and earlier variables, cand is the value proposed
+// for the step's variable. This is the executor's precise filter (as
+// opposed to the bounding-box filter compiled by internal/bbox); hot loops
+// should hoist Values out of the candidate scan and call SatisfiedWith.
+func (st Step) Satisfied(alg boolalg.Algebra, env []boolalg.Element, cand boolalg.Element) bool {
+	return st.SatisfiedWith(alg, st.Values(alg, env), cand)
 }
 
 // Vars returns every variable mentioned by the step's formulas (parameters

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# bench.sh — the tracked benchmark harness (`make bench`).
+#
+# Runs the trajectory benchmark set with -benchmem and writes the results
+# as JSON (default BENCH_PR4.json) via scripts/benchjson, so every PR can
+# compare ns/op, B/op and allocs/op against the committed baseline. The CI
+# bench job runs this same script on the PR head and on main and prints a
+# benchstat-style comparison.
+#
+# Environment knobs:
+#   BENCH      benchmark regex        (default: the tracked E-set)
+#   BENCHTIME  go test -benchtime     (default: 300ms)
+#   COUNT      go test -count         (default: 3)
+#   OUT        output JSON path       (default: BENCH_PR4.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-'BenchmarkE1Smuggler|BenchmarkE6Pruning|BenchmarkE9Join|BenchmarkE14Parallel|BenchmarkRegionOps|BenchmarkServiceQueryCached'}
+BENCHTIME=${BENCHTIME:-300ms}
+COUNT=${COUNT:-3}
+OUT=${OUT:-BENCH_PR4.json}
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+go run ./scripts/benchjson -go "$(go env GOVERSION)" -out "$OUT" < "$RAW"
+echo "wrote $OUT"

@@ -1,0 +1,207 @@
+// Command benchjson converts `go test -bench` output into the committed
+// benchmark-trajectory JSON (BENCH_PR4.json and successors), and compares
+// two such files benchstat-style. It exists so the benchmark harness
+// (scripts/bench.sh, `make bench`, the CI bench job) needs nothing outside
+// the repository.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson -out BENCH_PR4.json
+//	benchjson -compare old.json new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated numbers. Multiple -count runs of
+// the same benchmark are averaged; Count records how many were seen.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Count       int     `json:"count"`
+}
+
+// File is the JSON document the harness commits.
+type File struct {
+	Go         string   `json:"go,omitempty"`
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkE6Pruning/optimized/scale-1-8  412  802615 ns/op  323212 B/op  6246 allocs/op
+//
+// The name is kept verbatim (including any -GOMAXPROCS suffix): stripping
+// it cannot be told apart from sub-benchmark names like "scale-1", and
+// comparisons only ever pair runs from the same machine.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(r *bufio.Scanner) (File, error) {
+	var f File
+	agg := map[string]*Result{}
+	var order []string
+	for r.Scan() {
+		line := r.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res, ok := agg[m[1]]
+		if !ok {
+			res = &Result{Name: m[1]}
+			agg[m[1]] = res
+			order = append(order, m[1])
+		}
+		res.Count++
+		res.Iters += iters
+		res.NsPerOp += ns
+		if m[4] != "" {
+			b, _ := strconv.ParseFloat(m[4], 64)
+			res.BPerOp += b
+		}
+		if m[5] != "" {
+			a, _ := strconv.ParseFloat(m[5], 64)
+			res.AllocsPerOp += a
+		}
+	}
+	if err := r.Err(); err != nil {
+		return f, err
+	}
+	for _, name := range order {
+		res := agg[name]
+		n := float64(res.Count)
+		res.NsPerOp /= n
+		res.BPerOp /= n
+		res.AllocsPerOp /= n
+		f.Benchmarks = append(f.Benchmarks, *res)
+	}
+	return f, nil
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(data, &f)
+}
+
+// compare prints a benchstat-style delta table of two harness files.
+func compare(oldPath, newPath string) error {
+	oldF, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Result{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	names := make([]string, 0, len(newF.Benchmarks))
+	width := 0
+	for _, b := range newF.Benchmarks {
+		names = append(names, b.Name)
+		if len(b.Name) > width {
+			width = len(b.Name)
+		}
+	}
+	sort.Strings(names)
+	newBy := map[string]Result{}
+	for _, b := range newF.Benchmarks {
+		newBy[b.Name] = b
+	}
+	fmt.Printf("%-*s  %14s  %14s  %8s  %10s  %10s\n",
+		width, "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, name := range names {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-*s  %14s  %14.0f  %8s  %10s  %10.0f\n",
+				width, name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp)
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (n.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+		}
+		fmt.Printf("%-*s  %14.0f  %14.0f  %8s  %10.0f  %10.0f\n",
+			width, name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "", "write parsed benchmark JSON to this file (default stdout)")
+	cmp := flag.Bool("compare", false, "compare two harness JSON files: benchjson -compare old.json new.json")
+	goVersion := flag.String("go", "", "go version string to record (default: runtime-provided by bench.sh)")
+	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	f, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	f.Go = *goVersion
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
