@@ -15,7 +15,7 @@ vet:
 	go vet ./...
 
 # bench runs the tracked benchmark harness with -benchmem and refreshes
-# BENCH_PR4.json (see scripts/bench.sh for the BENCH/BENCHTIME/COUNT/OUT
+# BENCH_PR6.json (see scripts/bench.sh for the BENCH/BENCHTIME/COUNT/OUT
 # knobs and docs/API.md + DESIGN.md §5 for what the numbers mean).
 bench:
 	./scripts/bench.sh

@@ -26,6 +26,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/spatialdb"
 	"repro/internal/triangular"
+	"repro/internal/wal"
 	"repro/internal/workload"
 	"repro/internal/zorder"
 )
@@ -578,6 +579,63 @@ func BenchmarkBulkInsert(b *testing.B) {
 				}
 				if rep.Inserted != n {
 					b.Fatalf("inserted %d, want %d", rep.Inserted, n)
+				}
+			}
+		})
+	}
+}
+
+// ---- durable write path: WAL append cost per fsync policy ----
+
+// BenchmarkWALAppend measures the append path of the write-ahead log
+// under each fsync policy: "never" is the buffered frame+write alone,
+// "interval" adds the background flusher's lock traffic, and "always"
+// pays one fsync per record — the price of a durability guarantee on
+// every acknowledged mutation.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 128)
+	for _, policy := range []wal.Policy{wal.SyncNever, wal.SyncInterval, wal.SyncAlways} {
+		b.Run(policy.String(), func(b *testing.B) {
+			l, err := wal.Open(b.TempDir(), wal.Options{Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALDurableInsert is the end-to-end mutation cost with the
+// log attached: record encode + append (+ fsync under always) on top of
+// the in-memory insert itself. Compare against BenchmarkBulkInsert's
+// looped variant for the WAL-less baseline.
+func BenchmarkWALDurableInsert(b *testing.B) {
+	for _, policy := range []wal.Policy{wal.SyncNever, wal.SyncAlways} {
+		b.Run(policy.String(), func(b *testing.B) {
+			db, err := wal.OpenDB(b.TempDir(), wal.DBOptions{
+				Kind:     spatialdb.RTree,
+				Universe: bbox.Rect(0, 0, 1e6, 1e6),
+				Log:      wal.Options{Policy: policy},
+				// No background checkpoints: measure the append path only.
+				CheckpointInterval: -1, CheckpointBytes: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			store := db.Store()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := float64(i % 999000)
+				if _, err := store.Insert("bench", "", region.FromBox(bbox.Rect(x, 0, x+1, 1))); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -4,6 +4,7 @@
 //
 //	boolqd -demo                          # serve the generated smuggler map
 //	boolqd -snapshot db.json              # serve a saved store
+//	boolqd -data-dir /var/lib/boolqd      # durable: WAL + snapshots, crash recovery
 //	boolqd -addr :9000 -index gridfile -workers 8
 //
 // Try it:
@@ -19,10 +20,16 @@
 //	]'
 //	curl localhost:8080/stats
 //
+// With -data-dir set, every acknowledged mutation is appended to a
+// write-ahead log before the response leaves (fsynced per -fsync), a
+// background checkpointer writes binary snapshots and truncates the log,
+// and startup recovers the store from the newest snapshot plus the WAL
+// tail. GET /readyz answers 503 until recovery completes, then 200.
+//
 // See docs/API.md for the full endpoint reference (including the bulk
 // ingestion and streaming batch-query endpoints), internal/server for
-// the implementation, and DESIGN.md for how the service layers over the
-// library.
+// the implementation, and DESIGN.md (§6 for durability) for how the
+// service layers over the library.
 package main
 
 import (
@@ -36,12 +43,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/bbox"
 	"repro/internal/server"
 	"repro/internal/spatialdb"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -73,6 +82,19 @@ func run() error {
 		demo  = flag.Bool("demo", false, "populate the generated §2 smuggler map instead of starting empty")
 		seed  = flag.Uint64("seed", 42, "demo map seed")
 		scale = flag.Int("scale", 1, "demo map size multiplier")
+
+		dataDir = flag.String("data-dir", "",
+			"durable mode: directory for the write-ahead log and snapshots (empty: in-memory only)")
+		fsyncPolicy = flag.String("fsync", "interval",
+			"WAL fsync policy: always (fsync before every ack), interval, never")
+		fsyncInterval = flag.Duration("fsync-interval", wal.DefaultSyncInterval,
+			"flush+fsync cadence under -fsync interval (the crash-loss window)")
+		walSegment = flag.Int64("wal-segment", wal.DefaultSegmentBytes,
+			"WAL segment rotation threshold in bytes")
+		ckptInterval = flag.Duration("checkpoint-interval", wal.DefaultCheckpointInterval,
+			"how often the background checkpointer considers writing a snapshot")
+		ckptBytes = flag.Int64("checkpoint-bytes", 0,
+			"WAL bytes since the last snapshot that trigger a checkpoint (0: the segment size)")
 	)
 	flag.Parse()
 
@@ -80,31 +102,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	store, err := openStore(*snapshot, *universe, kind, *demo, *seed, *scale)
-	if err != nil {
-		return err
-	}
-	for _, name := range store.LayerNames() {
-		l := store.Layer(name)
-		log.Printf("layer %q: %d objects (%s)", name, l.Len(), l.Kind())
-	}
 
-	srv := server.New(store, server.Options{
-		CacheSize: *cacheSize, Workers: *workers, BatchWorkers: *batchWork,
-		QueryTimeout: *queryTimeout,
-	})
+	// The listener opens before recovery behind a switchable handler:
+	// /healthz answers 200 and everything else (notably /readyz) 503
+	// while the store is still being recovered; the real API is swapped
+	// in once it is live. In-memory startup passes through the same path
+	// with a near-instant swap.
+	//
 	// No WriteTimeout: /query/batch and /query?stream=1 responses are
 	// long-lived streams; execution time is bounded per query by
 	// -query-timeout instead, and dead clients are detected through the
 	// request context.
+	handler := newSwitchHandler(bootstrapHandler())
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,
 	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -113,6 +129,42 @@ func run() error {
 			*addr, kind, *cacheSize, *workers)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	var store *spatialdb.Store
+	var db *wal.DB
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		db, err = openDurable(*dataDir, kind, wal.Options{
+			SegmentBytes: *walSegment,
+			Policy:       policy,
+			Interval:     *fsyncInterval,
+		}, *ckptInterval, *ckptBytes, *snapshot, *universe, *demo, *seed, *scale)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		store = db.Store()
+	} else {
+		store, err = openStore(*snapshot, *universe, kind, *demo, *seed, *scale)
+		if err != nil {
+			return err
+		}
+	}
+	for _, name := range store.LayerNames() {
+		l := store.Layer(name)
+		log.Printf("layer %q: %d objects (%s)", name, l.Len(), l.Kind())
+	}
+
+	srv := server.New(store, server.Options{
+		CacheSize: *cacheSize, Workers: *workers, BatchWorkers: *batchWork,
+		QueryTimeout: *queryTimeout, Durable: db,
+	})
+	handler.Set(srv.Handler())
+	log.Print("serving")
+
 	select {
 	case err := <-errc:
 		return err
@@ -123,8 +175,139 @@ func run() error {
 		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
+		if db != nil {
+			// Seal the log: buffered records are flushed and fsynced, so
+			// a SIGTERM loses nothing regardless of the fsync policy.
+			if err := db.Close(); err != nil {
+				return err
+			}
+			log.Print("wal sealed")
+		}
 		return nil
 	}
+}
+
+// switchHandler atomically swaps the handler behind the listener, so the
+// port can open (and /healthz answer) before recovery finishes.
+type switchHandler struct{ v atomic.Value }
+
+func newSwitchHandler(initial http.Handler) *switchHandler {
+	h := &switchHandler{}
+	h.v.Store(initial)
+	return h
+}
+
+func (h *switchHandler) Set(next http.Handler) { h.v.Store(next) }
+
+func (h *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.v.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// bootstrapHandler serves while the store is recovering: alive but not
+// ready. /readyz (like every other path) answers 503 until the real API
+// replaces this handler.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{\n  \"ok\": true\n}\n"))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\n  \"error\": \"recovering\"\n}\n"))
+	})
+	return mux
+}
+
+// openDurable opens (creating if needed) the WAL-backed store in dataDir
+// and recovers it. A fresh directory may be seeded from -snapshot or
+// -demo; the seed mutations run through the store's normal API, so they
+// are logged like any other write. A directory that already holds state
+// ignores the seed flags — its own contents win.
+func openDurable(dataDir string, kind spatialdb.IndexKind, logOpts wal.Options,
+	ckptInterval time.Duration, ckptBytes int64,
+	snapshot, universe string, demo bool, seed uint64, scale int) (*wal.DB, error) {
+
+	// Resolve the universe a fresh store starts with (a recovered
+	// snapshot's universe always wins) and hold on to the seed contents.
+	var seedStore *spatialdb.Store
+	var m *workload.Map
+	var u bbox.Box
+	switch {
+	case snapshot != "":
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		seedStore, err = spatialdb.Load(f, kind)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		u = seedStore.Universe()
+	case demo:
+		m = workload.GenMap(workload.MapConfig{
+			Seed:  seed,
+			Towns: 12 * scale, Interior: 12 * scale, Roads: 30 * scale,
+		})
+		u = m.Config.Universe
+	default:
+		var err error
+		if u, err = parseUniverse(universe); err != nil {
+			return nil, err
+		}
+	}
+
+	db, err := wal.OpenDB(dataDir, wal.DBOptions{
+		Log: logOpts, Kind: kind, Universe: u,
+		CheckpointInterval: ckptInterval, CheckpointBytes: ckptBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := db.Stats()
+	log.Printf("recovered %s in %dms: snapshot lsn %d + %d replayed records (fsync %s)",
+		dataDir, st.RecoveryMS, st.RecoveredFrom, st.Replayed, st.Policy)
+
+	fresh := st.RecoveredFrom == 0 && st.AppliedLSN == 0 && len(db.Store().LayerNames()) == 0
+	switch {
+	case fresh && seedStore != nil:
+		if err := copyStore(db.Store(), seedStore); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("seeding from %s: %w", snapshot, err)
+		}
+		log.Printf("seeded from snapshot %s", snapshot)
+	case fresh && m != nil:
+		m.Populate(db.Store())
+		log.Printf("generated demo map (seed %d, scale %d); parameters C=%v A=%v",
+			seed, scale, m.Country.BoundingBox(), m.Area.BoundingBox())
+	case !fresh && (seedStore != nil || m != nil):
+		log.Printf("data dir %s already holds state; ignoring -snapshot/-demo", dataDir)
+	}
+	return db, nil
+}
+
+// copyStore replays src's contents into dst through the public mutation
+// API, so in durable mode every object lands in the WAL.
+func copyStore(dst, src *spatialdb.Store) error {
+	for _, name := range src.LayerNames() {
+		if _, _, err := dst.CreateLayer(name); err != nil {
+			return err
+		}
+		for _, o := range src.Layer(name).Objects() {
+			var err error
+			if o.Name != "" {
+				_, _, err = dst.Upsert(name, o.Name, o.Reg)
+			} else {
+				_, err = dst.Insert(name, "", o.Reg)
+			}
+			if err != nil {
+				return fmt.Errorf("object %q: %w", o.Name, err)
+			}
+		}
+	}
+	return nil
 }
 
 func openStore(snapshot, universe string, kind spatialdb.IndexKind, demo bool, seed uint64, scale int) (*spatialdb.Store, error) {

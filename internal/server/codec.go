@@ -11,6 +11,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/region"
 	"repro/internal/spatialdb"
+	"repro/internal/wal"
 )
 
 type jsonBox struct {
@@ -217,6 +218,9 @@ type statsResponse struct {
 	Bulk      bulkStats       `json:"bulk"`
 	Snapshots snapshotStats   `json:"snapshots"`
 	DB        spatialdb.Stats `json:"db"`
+	// WAL is present only in durable mode (-data-dir): the write-ahead
+	// log's position, checkpoint and fsync counters.
+	WAL *wal.DBStats `json:"wal,omitempty"`
 }
 
 type cacheStats struct {

@@ -1,0 +1,61 @@
+// Durability endpoints. When boolqd runs with -data-dir the server is
+// constructed over a wal.DB (Options.Durable): every mutation handler's
+// store call appends a WAL record before acknowledging, /stats and
+// /debug/vars grow durability counters, and two endpoints appear:
+//
+//	GET  /readyz      readiness — 200 once recovery completed (the
+//	                  bootstrap handler in cmd/boolqd answers 503 while
+//	                  recovery is still running)
+//	POST /checkpoint  force a snapshot + WAL truncation now
+//
+// POST /snapshot is refused in durable mode: swapping the store out from
+// under the DB would disconnect it from the log. GET /snapshot (save)
+// still works — it only reads.
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/spatialdb"
+)
+
+// mutationStatus maps a mutation error to an HTTP status: a durability
+// failure (the WAL append failed; the client must not treat the write as
+// acknowledged) is a server-side 500, anything else is the caller's 400.
+func mutationStatus(err error) int {
+	if errors.Is(err, spatialdb.ErrDurability) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// handleReady is GET /readyz. The Server only exists after recovery
+// (OpenDB is synchronous), so a served request is always ready; the
+// interesting answer is the 503 the cmd/boolqd bootstrap handler gives
+// while recovery is still replaying the log.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{"ready": true, "durable": s.durable != nil}
+	if s.durable != nil {
+		st := s.durable.Stats()
+		resp["replayed"] = st.Replayed
+		resp["recovery_ms"] = st.RecoveryMS
+		resp["applied_lsn"] = st.AppliedLSN
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint is POST /checkpoint: write a snapshot of the current
+// state and truncate the WAL segments it covers.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.durable == nil {
+		writeError(w, http.StatusConflict, "not running in durable mode (start boolqd with -data-dir)")
+		return
+	}
+	lsn, err := s.durable.Checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"checkpointed": true, "lsn": lsn})
+}

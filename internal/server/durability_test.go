@@ -1,0 +1,133 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/spatialdb"
+	"repro/internal/wal"
+)
+
+// newDurableServer builds a server over a wal.DB rooted at dir, the way
+// cmd/boolqd does for -data-dir.
+func newDurableServer(t *testing.T, dir string) (*Server, *wal.DB) {
+	t.Helper()
+	db, err := wal.OpenDB(dir, wal.DBOptions{
+		Kind:     spatialdb.RTree,
+		Universe: bbox.Rect(0, 0, 1000, 1000),
+		Log:      wal.Options{Policy: wal.SyncNever},
+		// The tests drive Checkpoint through the endpoint.
+		CheckpointInterval: -1, CheckpointBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db.Store(), Options{Durable: db}), db
+}
+
+func putTestObject(t *testing.T, s *Server, layer, name string) {
+	t.Helper()
+	body := jsonRegion{Boxes: []jsonBox{{Lo: []float64{10, 10}, Hi: []float64{20, 20}}}}
+	if w := do(t, s, http.MethodPut, "/layers/"+layer+"/objects/"+name, body, nil); w.Code != http.StatusCreated {
+		t.Fatalf("PUT object: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestDurableMutationsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, db := newDurableServer(t, dir)
+	putTestObject(t, s, "towns", "a")
+	putTestObject(t, s, "towns", "b")
+	if w := do(t, s, http.MethodDelete, "/layers/towns/objects/a", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("DELETE: %d %s", w.Code, w.Body.String())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, db2 := newDurableServer(t, dir)
+	defer db2.Close()
+	var listing struct {
+		Layers []layerInfo `json:"layers"`
+	}
+	do(t, s2, http.MethodGet, "/layers", nil, &listing)
+	if len(listing.Layers) != 1 || listing.Layers[0].Name != "towns" || listing.Layers[0].Objects != 1 {
+		t.Fatalf("recovered layers = %+v", listing.Layers)
+	}
+	if w := do(t, s2, http.MethodGet, "/layers/towns/objects/b", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("recovered object b: %d", w.Code)
+	}
+	if w := do(t, s2, http.MethodGet, "/layers/towns/objects/a", nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("deleted object a resurrected: %d", w.Code)
+	}
+}
+
+func TestDurableEndpoints(t *testing.T) {
+	s, db := newDurableServer(t, t.TempDir())
+	defer db.Close()
+	putTestObject(t, s, "towns", "a")
+
+	var ready struct {
+		Ready    bool  `json:"ready"`
+		Durable  bool  `json:"durable"`
+		Replayed int64 `json:"replayed"`
+	}
+	if w := do(t, s, http.MethodGet, "/readyz", nil, &ready); w.Code != http.StatusOK {
+		t.Fatalf("/readyz: %d", w.Code)
+	}
+	if !ready.Ready || !ready.Durable {
+		t.Fatalf("/readyz = %+v", ready)
+	}
+
+	// Snapshot replacement would bypass the WAL: refused.
+	if w := do(t, s, http.MethodPost, "/snapshot", map[string]any{"version": 2}, nil); w.Code != http.StatusConflict {
+		t.Fatalf("POST /snapshot in durable mode: %d, want 409", w.Code)
+	}
+	// Saving (a read) still works.
+	if w := do(t, s, http.MethodGet, "/snapshot", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("GET /snapshot in durable mode: %d", w.Code)
+	}
+
+	var ck struct {
+		Checkpointed bool   `json:"checkpointed"`
+		LSN          uint64 `json:"lsn"`
+	}
+	if w := do(t, s, http.MethodPost, "/checkpoint", nil, &ck); w.Code != http.StatusOK {
+		t.Fatalf("POST /checkpoint: %d %s", w.Code, w.Body.String())
+	}
+	if !ck.Checkpointed || ck.LSN == 0 {
+		t.Fatalf("/checkpoint = %+v", ck)
+	}
+
+	var stats statsResponse
+	do(t, s, http.MethodGet, "/stats", nil, &stats)
+	if stats.WAL == nil {
+		t.Fatal("/stats lacks the wal section in durable mode")
+	}
+	if stats.WAL.AppliedLSN == 0 || stats.WAL.Checkpoints != 1 {
+		t.Fatalf("/stats wal = %+v", stats.WAL)
+	}
+}
+
+func TestNonDurableServerBehaviour(t *testing.T) {
+	s, _ := newTestServer(t)
+	var ready struct {
+		Ready   bool `json:"ready"`
+		Durable bool `json:"durable"`
+	}
+	if w := do(t, s, http.MethodGet, "/readyz", nil, &ready); w.Code != http.StatusOK {
+		t.Fatalf("/readyz: %d", w.Code)
+	}
+	if !ready.Ready || ready.Durable {
+		t.Fatalf("/readyz = %+v", ready)
+	}
+	if w := do(t, s, http.MethodPost, "/checkpoint", nil, nil); w.Code != http.StatusConflict {
+		t.Fatalf("POST /checkpoint without -data-dir: %d, want 409", w.Code)
+	}
+	var stats statsResponse
+	do(t, s, http.MethodGet, "/stats", nil, &stats)
+	if stats.WAL != nil {
+		t.Fatalf("/stats grew a wal section without durable mode: %+v", stats.WAL)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/region"
 	"repro/internal/spatialdb"
+	"repro/internal/wal"
 )
 
 // maxBodyBytes bounds request bodies (regions, queries, snapshots).
@@ -65,7 +66,11 @@ func (s *Server) handleListLayers(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCreateLayer(w http.ResponseWriter, r *http.Request) {
 	store := s.Store()
 	name := r.PathValue("layer")
-	l, created := store.CreateLayer(name)
+	l, created, err := store.CreateLayer(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "creating layer %q: %v", name, err)
+		return
+	}
 	store.RLock()
 	info := layerInfo{Name: name, Kind: l.Kind().String(), Objects: l.Len()}
 	store.RUnlock()
@@ -104,7 +109,7 @@ func (s *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
 	}
 	o, replaced, err := store.Upsert(layer, name, reg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "upserting %s/%s: %v", layer, name, err)
+		writeError(w, mutationStatus(err), "upserting %s/%s: %v", layer, name, err)
 		return
 	}
 	s.metrics.Inserts.Add(1)
@@ -467,6 +472,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req *
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	store := s.Store()
 	mt := s.metrics
+	var walStats *wal.DBStats
+	if s.durable != nil {
+		st := s.durable.Stats()
+		walStats = &st
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Epoch:  store.Epoch(),
 		Layers: layerSizes(store),
@@ -493,6 +503,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Bulk:      bulkStats{Batches: mt.BulkBatches.Value(), Objects: mt.BulkObjects.Value()},
 		Snapshots: snapshotStats{Saves: mt.SnapshotSaves.Value(), Loads: mt.SnapshotLoads.Value()},
 		DB:        store.TotalStats(),
+		WAL:       walStats,
 	})
 }
 
@@ -511,6 +522,15 @@ func (s *Server) handleSnapshotSave(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
+	if s.durable != nil {
+		// Swapping the store out would disconnect it from the write-ahead
+		// log: the new store has no mutation sink, so nothing after the
+		// swap would survive a restart. Ingest through the logged mutation
+		// endpoints instead.
+		writeError(w, http.StatusConflict,
+			"snapshot load is disabled in durable mode; ingest via objects:bulk instead")
+		return
+	}
 	old := s.Store()
 	store, err := spatialdb.Load(http.MaxBytesReader(w, r.Body, maxBodyBytes), old.Kind())
 	if err != nil {

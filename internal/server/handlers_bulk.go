@@ -164,6 +164,13 @@ func (s *Server) handleBulkInsert(w http.ResponseWriter, r *http.Request) {
 	resp.Epoch = rep.Epoch
 	resp.Inserted = rep.Inserted
 	resp.Errors = collectErrs(rep)
+	if errors.Is(err, spatialdb.ErrDurability) {
+		// The batch (or part of it) is applied in memory but its WAL
+		// record was not acknowledged; the client must treat it as failed.
+		resp.Failed = len(objs) - rep.Inserted
+		writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
 	if err != nil { // atomic abort: nothing inserted
 		resp.Failed = len(objs)
 		writeJSON(w, http.StatusBadRequest, resp)

@@ -55,5 +55,15 @@ func (s *Server) expvarMap() *expvar.Map {
 	m.Set("plan_cache_misses", expvar.Func(func() any { return s.cache.Misses() }))
 	m.Set("plan_cache_entries", expvar.Func(func() any { return s.cache.Len() }))
 	m.Set("store_epoch", expvar.Func(func() any { return s.Store().Epoch() }))
+	if db := s.durable; db != nil {
+		m.Set("wal_applied_lsn", expvar.Func(func() any { return db.Stats().AppliedLSN }))
+		m.Set("wal_checkpoint_lsn", expvar.Func(func() any { return db.Stats().CheckpointLSN }))
+		m.Set("wal_checkpoints", expvar.Func(func() any { return db.Stats().Checkpoints }))
+		m.Set("wal_checkpoint_errors", expvar.Func(func() any { return db.Stats().CheckpointErr }))
+		m.Set("wal_append_errors", expvar.Func(func() any { return db.Stats().SinkErrors }))
+		m.Set("wal_appends", expvar.Func(func() any { return db.Stats().Log.Appends }))
+		m.Set("wal_fsyncs", expvar.Func(func() any { return db.Stats().Log.Fsyncs }))
+		m.Set("wal_segments", expvar.Func(func() any { return db.Stats().Log.Segments }))
+	}
 	return m
 }

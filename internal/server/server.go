@@ -14,9 +14,11 @@
 //	POST   /query/batch                         run many queries, streaming NDJSON results
 //	GET    /stats                               service + store statistics
 //	GET    /snapshot                            save the store as JSON
-//	POST   /snapshot                            replace the store from JSON
+//	POST   /snapshot                            replace the store from JSON (409 in durable mode)
+//	POST   /checkpoint                          force a durability checkpoint (durable mode only)
 //	GET    /debug/vars                          expvar metrics
 //	GET    /healthz                             liveness probe
+//	GET    /readyz                              readiness probe (503 until recovery completes)
 //
 // docs/API.md is the complete wire reference; DESIGN.md §3 describes the
 // concurrency model this package implements.
@@ -57,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/spatialdb"
+	"repro/internal/wal"
 )
 
 // Options configures a Server.
@@ -76,6 +79,12 @@ type Options struct {
 	// never extend it, so no single query can hold the store's read
 	// guard longer than this.
 	QueryTimeout time.Duration
+	// Durable, when set, is the wal.DB whose recovered store this server
+	// serves. It enables POST /checkpoint, the durability sections of
+	// /stats and /debug/vars, and disables POST /snapshot (replacing the
+	// store would disconnect it from the write-ahead log). The store
+	// passed to New must be Durable.Store().
+	Durable *wal.DB
 }
 
 // Server is the boolqd HTTP service over one spatial store.
@@ -89,6 +98,7 @@ type Server struct {
 	workers      int
 	batchWorkers int
 	queryTimeout time.Duration
+	durable      *wal.DB // nil unless running over a WAL data dir
 	mux          *http.ServeMux
 }
 
@@ -109,6 +119,7 @@ func New(store *spatialdb.Store, opts Options) *Server {
 		workers:      opts.Workers,
 		batchWorkers: bw,
 		queryTimeout: qt,
+		durable:      opts.Durable,
 	}
 	s.vars = s.expvarMap()
 	publishOnce.Do(func() { expvar.Publish("boolqd", s.vars) })
@@ -169,10 +180,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshotSave)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotLoad)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 }
 
 // writeJSON writes v as the response body with the given status.

@@ -116,6 +116,10 @@ func (s *Store) BulkInsert(layer string, items []BulkItem, mode BulkMode) (BulkR
 		}
 		if !existed {
 			s.epoch.Add(1) // the layer creation is a visible mutation
+			// The layer survives the abort, so its creation must too.
+			if lerr := s.logMutation(&Mutation{Op: OpCreateLayer, Layer: layer}); lerr != nil {
+				err = fmt.Errorf("%v (%v)", err, lerr)
+			}
 		}
 		rep.Epoch = s.epoch.Load()
 		return rep, fmt.Errorf("spatialdb: bulk insert into %q: %w", layer, err)
@@ -129,7 +133,22 @@ func (s *Store) BulkInsert(layer string, items []BulkItem, mode BulkMode) (BulkR
 		s.epoch.Add(1)
 	}
 	rep.Epoch = s.epoch.Load()
-	return rep, nil
+	// One record for the whole batch, carrying only the objects that made
+	// it in (replay re-creates the layer implicitly). A batch that changed
+	// nothing but the layer's existence logs the creation alone.
+	var lerr error
+	if rep.Inserted > 0 {
+		m := &Mutation{Op: OpBulkInsert, Layer: layer, Objects: make([]MutObject, 0, rep.Inserted)}
+		for i := range rep.Results {
+			if rep.Results[i].Err == nil {
+				m.Objects = append(m.Objects, mutObject(rep.Results[i].Object))
+			}
+		}
+		lerr = s.logMutation(m)
+	} else if !existed {
+		lerr = s.logMutation(&Mutation{Op: OpCreateLayer, Layer: layer})
+	}
+	return rep, lerr
 }
 
 // bulkInsert adds objs (regions already validated non-empty, ids

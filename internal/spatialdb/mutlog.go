@@ -1,0 +1,408 @@
+package spatialdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+)
+
+// This file is the store side of the durable write path (DESIGN.md §6):
+// every mutating entry point (Insert, Upsert, Remove, CreateLayer,
+// BulkInsert) already funnels through one epoch-bumping critical section,
+// and here each of them also emits a Mutation — a self-contained,
+// replayable description of what changed, carrying the assigned object
+// ids — to an optional sink. internal/wal appends the encoded records to
+// an append-only log and feeds them back through ApplyMutation on
+// recovery; the same record stream is the epoch-shipping feed a read
+// replica would consume.
+
+// MutOp identifies a mutation record type.
+type MutOp uint8
+
+// Mutation record types. The numeric values are the on-disk encoding;
+// never renumber them.
+const (
+	OpCreateLayer MutOp = 1 // layer created (no objects)
+	OpInsert      MutOp = 2 // one object inserted
+	OpUpsert      MutOp = 3 // one object replacing any same-named one
+	OpRemove      MutOp = 4 // one object removed, by id
+	OpBulkInsert  MutOp = 5 // a batch of objects inserted atomically
+)
+
+// String returns the record type name.
+func (op MutOp) String() string {
+	switch op {
+	case OpCreateLayer:
+		return "create_layer"
+	case OpInsert:
+		return "insert"
+	case OpUpsert:
+		return "upsert"
+	case OpRemove:
+		return "remove"
+	case OpBulkInsert:
+		return "bulk_insert"
+	default:
+		return fmt.Sprintf("MutOp(%d)", uint8(op))
+	}
+}
+
+// MutObject is one object of a mutation record: the id the store
+// assigned, the name, and the region as its disjoint box list.
+type MutObject struct {
+	ID    int64
+	Name  string
+	Boxes []bbox.Box
+}
+
+// Mutation is one replayable store mutation. Objects is the single
+// affected object for OpInsert/OpUpsert and the inserted batch (only the
+// objects that were actually inserted, in batch order) for OpBulkInsert;
+// RemoveID identifies the object for OpRemove.
+type Mutation struct {
+	Op       MutOp
+	Layer    string
+	Objects  []MutObject
+	RemoveID int64
+}
+
+// ErrDurability wraps sink failures: the mutation was applied in memory
+// but could not be durably logged. Callers should surface it as a server
+// error, not a client error; the in-memory state stays ahead of the log
+// until the next successful append or checkpoint.
+var ErrDurability = errors.New("spatialdb: mutation not durably logged")
+
+// SetMutationSink installs fn as the store's mutation sink. fn is invoked
+// inside the mutating critical section (the store's write lock), after
+// the mutation has been applied and the epoch bumped, so the sink
+// observes mutations in exactly apply order and may safely keep
+// single-threaded state (e.g. an encode buffer). A non-nil error from fn
+// is wrapped in ErrDurability and returned to the mutating caller.
+// Passing nil detaches the sink.
+func (s *Store) SetMutationSink(fn func(*Mutation) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = fn
+}
+
+// logMutation hands m to the sink, if any. The caller must hold the
+// write lock.
+func (s *Store) logMutation(m *Mutation) error {
+	if s.sink == nil {
+		return nil
+	}
+	if err := s.sink(m); err != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// mutObject converts a stored object to its record form.
+func mutObject(o Object) MutObject {
+	return MutObject{ID: o.ID, Name: o.Name, Boxes: o.Reg.Boxes()}
+}
+
+// ---- replay ----
+
+// ApplyMutation applies a previously logged mutation to the store without
+// re-logging it: the recovery path (internal/wal) replays the WAL tail
+// through it, and a replica would apply its leader's record stream the
+// same way. Object ids are restored exactly as recorded and the id
+// counter advances past them, so ids stay stable across restarts and
+// later records (OpRemove, OpUpsert) resolve against the same objects
+// they were logged against.
+//
+// Replay is deterministic: applied to the same store state the mutation
+// was logged against, it reproduces the original effect. A mutation that
+// does not fit the store (wrong dimensionality, duplicate id, missing
+// remove target) reports an error and leaves the store unchanged.
+func (s *Store) ApplyMutation(m *Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m.Op {
+	case OpCreateLayer:
+		if _, ok := s.layers[m.Layer]; !ok {
+			s.ensureLayerLocked(m.Layer)
+			s.epoch.Add(1)
+		}
+		return nil
+	case OpInsert, OpUpsert, OpBulkInsert:
+		objs := make([]Object, 0, len(m.Objects))
+		for _, mo := range m.Objects {
+			o, err := s.restoredObject(mo)
+			if err != nil {
+				return fmt.Errorf("spatialdb: replay %s %q/%q: %w", m.Op, m.Layer, mo.Name, err)
+			}
+			objs = append(objs, o)
+		}
+		l := s.ensureLayerLocked(m.Layer)
+		if m.Op == OpUpsert {
+			// The logged upsert replaced whatever object held the name at
+			// that point; replaying against the same prefix state finds the
+			// same object (or none, when the upsert was a plain insert).
+			for _, o := range objs {
+				if prev, ok := l.GetByName(o.Name); ok {
+					if err := l.remove(prev.ID); err != nil {
+						return fmt.Errorf("spatialdb: replay upsert %q/%q: %w", m.Layer, o.Name, err)
+					}
+				}
+			}
+		}
+		if _, err := l.bulkInsert(objs, true); err != nil {
+			return fmt.Errorf("spatialdb: replay %s into %q: %w", m.Op, m.Layer, err)
+		}
+		for _, o := range objs {
+			if o.ID > s.nextID {
+				s.nextID = o.ID
+			}
+		}
+		s.epoch.Add(1)
+		return nil
+	case OpRemove:
+		l, ok := s.layers[m.Layer]
+		if !ok {
+			return fmt.Errorf("spatialdb: replay remove: no layer %q", m.Layer)
+		}
+		if err := l.remove(m.RemoveID); err != nil {
+			return fmt.Errorf("spatialdb: replay remove: %w", err)
+		}
+		if m.RemoveID > s.nextID {
+			s.nextID = m.RemoveID
+		}
+		s.epoch.Add(1)
+		return nil
+	default:
+		return fmt.Errorf("spatialdb: replay: unknown mutation op %d", m.Op)
+	}
+}
+
+// restoredObject validates a record object against the store and rebuilds
+// it. The caller must hold the write lock.
+func (s *Store) restoredObject(mo MutObject) (Object, error) {
+	if mo.ID <= 0 {
+		return Object{}, fmt.Errorf("invalid object id %d", mo.ID)
+	}
+	for _, b := range mo.Boxes {
+		if b.K != s.universe.K {
+			return Object{}, fmt.Errorf("box dimensionality %d in a %d-dimensional store", b.K, s.universe.K)
+		}
+	}
+	reg := region.FromBoxes(s.universe.K, mo.Boxes...)
+	if reg.IsEmpty() {
+		return Object{}, errors.New("empty region")
+	}
+	return Object{ID: mo.ID, Name: mo.Name, Reg: reg, Box: reg.BoundingBox()}, nil
+}
+
+// NextID returns the id the store would assign to the next inserted
+// object plus nothing — i.e. the highest id handed out so far. Snapshots
+// persist it so ids never repeat across restarts.
+func (s *Store) NextID() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextID
+}
+
+// ---- binary record codec ----
+//
+// A mutation encodes as:
+//
+//	op        uint8
+//	layer     string        (uvarint length + bytes)
+//	payload   op-dependent:
+//	  create_layer              (nothing)
+//	  insert | upsert           one object
+//	  bulk_insert               uvarint count, then objects
+//	  remove                    uvarint id
+//
+// and an object as:
+//
+//	id        uvarint
+//	name      string
+//	boxes     uvarint count, then per box:
+//	            k     uvarint
+//	            lo,hi 2·k little-endian float64 bit patterns
+//
+// The framing (length prefix, CRC) is the WAL's job; this codec only
+// defines the payload. Decode rejects trailing bytes, so a corrupted
+// record cannot silently drop its tail.
+
+// AppendMutation appends the binary encoding of m to dst and returns the
+// extended slice.
+func AppendMutation(dst []byte, m *Mutation) []byte {
+	dst = append(dst, byte(m.Op))
+	dst = appendString(dst, m.Layer)
+	switch m.Op {
+	case OpCreateLayer:
+	case OpInsert, OpUpsert:
+		dst = appendMutObject(dst, m.Objects[0])
+	case OpBulkInsert:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Objects)))
+		for _, mo := range m.Objects {
+			dst = appendMutObject(dst, mo)
+		}
+	case OpRemove:
+		dst = binary.AppendUvarint(dst, uint64(m.RemoveID))
+	}
+	return dst
+}
+
+// DecodeMutation parses one encoded mutation. It is strict: unknown ops,
+// malformed varints, impossible counts and trailing bytes are all errors
+// (the WAL's CRC has already vouched for the bytes; a decode failure
+// means a format bug or version skew, not disk corruption).
+func DecodeMutation(data []byte) (*Mutation, error) {
+	d := &mutDecoder{buf: data}
+	m := &Mutation{}
+	op, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	m.Op = MutOp(op)
+	if m.Layer, err = d.string(); err != nil {
+		return nil, err
+	}
+	switch m.Op {
+	case OpCreateLayer:
+	case OpInsert, OpUpsert:
+		mo, err := d.object()
+		if err != nil {
+			return nil, err
+		}
+		m.Objects = []MutObject{mo}
+	case OpBulkInsert:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.buf)) { // each object takes ≥ 1 byte
+			return nil, fmt.Errorf("spatialdb: mutation record: impossible object count %d", n)
+		}
+		m.Objects = make([]MutObject, 0, n)
+		for i := uint64(0); i < n; i++ {
+			mo, err := d.object()
+			if err != nil {
+				return nil, err
+			}
+			m.Objects = append(m.Objects, mo)
+		}
+	case OpRemove:
+		id, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m.RemoveID = int64(id)
+	default:
+		return nil, fmt.Errorf("spatialdb: mutation record: unknown op %d", op)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("spatialdb: mutation record: %d trailing bytes", len(d.buf))
+	}
+	return m, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendMutObject(dst []byte, mo MutObject) []byte {
+	dst = binary.AppendUvarint(dst, uint64(mo.ID))
+	dst = appendString(dst, mo.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(mo.Boxes)))
+	for _, b := range mo.Boxes {
+		dst = binary.AppendUvarint(dst, uint64(b.K))
+		for _, v := range b.Lo {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		for _, v := range b.Hi {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// mutDecoder is a cursor over an encoded record.
+type mutDecoder struct{ buf []byte }
+
+var errShortRecord = errors.New("spatialdb: mutation record: truncated")
+
+func (d *mutDecoder) byte() (byte, error) {
+	if len(d.buf) < 1 {
+		return 0, errShortRecord
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *mutDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, errShortRecord
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *mutDecoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)) {
+		return "", errShortRecord
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+func (d *mutDecoder) object() (MutObject, error) {
+	var mo MutObject
+	id, err := d.uvarint()
+	if err != nil {
+		return mo, err
+	}
+	mo.ID = int64(id)
+	if mo.Name, err = d.string(); err != nil {
+		return mo, err
+	}
+	nb, err := d.uvarint()
+	if err != nil {
+		return mo, err
+	}
+	if nb > uint64(len(d.buf)) {
+		return mo, fmt.Errorf("spatialdb: mutation record: impossible box count %d", nb)
+	}
+	mo.Boxes = make([]bbox.Box, 0, nb)
+	for i := uint64(0); i < nb; i++ {
+		k, err := d.uvarint()
+		if err != nil {
+			return mo, err
+		}
+		if need := 16 * k; need > uint64(len(d.buf)) {
+			return mo, errShortRecord
+		}
+		lo := make([]float64, k)
+		hi := make([]float64, k)
+		for j := range lo {
+			lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+			d.buf = d.buf[8:]
+		}
+		for j := range hi {
+			hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+			d.buf = d.buf[8:]
+		}
+		b, err := bbox.Make(lo, hi)
+		if err != nil {
+			return mo, fmt.Errorf("spatialdb: mutation record: %w", err)
+		}
+		mo.Boxes = append(mo.Boxes, b)
+	}
+	return mo, nil
+}

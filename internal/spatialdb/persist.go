@@ -6,16 +6,22 @@ import (
 	"io"
 
 	"repro/internal/bbox"
-	"repro/internal/region"
 )
 
-// The on-disk snapshot format: a versioned JSON document with the universe
-// and every layer's objects as disjoint box lists. Indexes are rebuilt on
-// load (they are derived state), so snapshots are portable across index
-// backends.
+// The JSON snapshot format: a versioned document with the universe and
+// every layer's objects as disjoint box lists. It is the debug and
+// interchange codec — human-readable and diff-able; the production write
+// path persists the binary codec in binsnap.go instead. Indexes are
+// rebuilt on load (they are derived state), so snapshots are portable
+// across index backends.
+//
+// Version 2 carries object ids and the store's id counter, so a reloaded
+// store resolves WAL records (Remove/Upsert by id) exactly as the saver
+// did. Version 1 documents (no ids) still load, with ids assigned afresh.
 
 type snapshot struct {
 	Version  int         `json:"version"`
+	NextID   int64       `json:"next_id,omitempty"` // v2: highest id handed out
 	Universe snapBox     `json:"universe"`
 	Layers   []snapLayer `json:"layers"`
 }
@@ -26,6 +32,7 @@ type snapLayer struct {
 }
 
 type snapObject struct {
+	ID    int64     `json:"id,omitempty"` // v2: stable object id
 	Name  string    `json:"name,omitempty"`
 	Boxes []snapBox `json:"boxes"`
 }
@@ -35,24 +42,25 @@ type snapBox struct {
 	Hi []float64 `json:"hi"`
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
-// Save writes the store's contents as JSON. Object ids are not preserved
-// (they are assigned afresh on load); insertion order and names are.
-// Save holds the store's read guard, so it snapshots a consistent state
-// even while writers are active.
+// Save writes the store's contents as JSON (format version 2: object ids
+// and the id counter are preserved across a reload). Save holds the
+// store's read guard, so it snapshots a consistent state even while
+// writers are active.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	snap := snapshot{
 		Version:  snapshotVersion,
+		NextID:   s.nextID,
 		Universe: toSnapBox(s.universe),
 	}
 	for _, name := range s.names {
 		layer := s.layers[name]
 		sl := snapLayer{Name: name}
 		for _, o := range layer.Objects() {
-			so := snapObject{Name: o.Name}
+			so := snapObject{ID: o.ID, Name: o.Name}
 			for _, b := range o.Reg.Boxes() {
 				so.Boxes = append(so.Boxes, toSnapBox(b))
 			}
@@ -66,13 +74,15 @@ func (s *Store) Save(w io.Writer) error {
 }
 
 // Load reads a snapshot written by Save into a fresh store with the given
-// index backend.
+// index backend. Version 2 snapshots restore object ids and the id
+// counter; version 1 snapshots (written before ids were persisted) load
+// with ids assigned afresh in insertion order.
 func Load(r io.Reader, kind IndexKind) (*Store, error) {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("spatialdb: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version != 1 && snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("spatialdb: unsupported snapshot version %d", snap.Version)
 	}
 	universe, err := fromSnapBox(snap.Universe)
@@ -83,8 +93,9 @@ func Load(r io.Reader, kind IndexKind) (*Store, error) {
 		return nil, fmt.Errorf("spatialdb: snapshot has an empty universe")
 	}
 	store := NewStore(universe, kind)
+	seen := make(map[int64]bool)
 	for _, sl := range snap.Layers {
-		store.Layer(sl.Name) // create even if empty
+		objs := make([]Object, 0, len(sl.Objects))
 		for _, so := range sl.Objects {
 			boxes := make([]bbox.Box, 0, len(so.Boxes))
 			for _, sb := range so.Boxes {
@@ -94,12 +105,22 @@ func Load(r io.Reader, kind IndexKind) (*Store, error) {
 				}
 				boxes = append(boxes, b)
 			}
-			reg := region.FromBoxes(universe.K, boxes...)
-			if _, err := store.Insert(sl.Name, so.Name, reg); err != nil {
+			id := so.ID
+			if snap.Version == 1 {
+				// v1 carries no ids; assign the next free one.
+				id = store.NextID() + int64(len(objs)) + 1
+			}
+			o, err := restoredSnapObject(store, id, so.Name, boxes, seen)
+			if err != nil {
 				return nil, fmt.Errorf("spatialdb: layer %q object %q: %w", sl.Name, so.Name, err)
 			}
+			objs = append(objs, o)
+		}
+		if err := store.restoreLayer(sl.Name, objs); err != nil {
+			return nil, fmt.Errorf("spatialdb: layer %q: %w", sl.Name, err)
 		}
 	}
+	store.restoreNextID(snap.NextID)
 	return store, nil
 }
 

@@ -310,11 +310,15 @@ type Store struct {
 	universe bbox.Box
 	kind     IndexKind
 
-	mu     sync.RWMutex // guards layers, names, nextID
+	mu     sync.RWMutex // guards layers, names, nextID, sink
 	epoch  atomic.Uint64
 	layers map[string]*Layer
 	names  []string
 	nextID int64
+
+	// sink, when set, receives every mutation inside the critical section
+	// that applied it — the durable write path's hook point (mutlog.go).
+	sink func(*Mutation) error
 }
 
 // NewStore returns an empty store; layers created through it use the given
@@ -359,22 +363,25 @@ func (s *Store) Layer(name string) *Layer {
 	if ok {
 		return l
 	}
-	l, _ = s.CreateLayer(name)
+	l, _, _ = s.CreateLayer(name)
 	return l
 }
 
 // CreateLayer ensures the named layer exists and reports whether this
 // call created it — atomically under the write lock, unlike a
 // HasLayer/Layer pair, so concurrent creators agree on who created it.
-func (s *Store) CreateLayer(name string) (*Layer, bool) {
+// A non-nil error is always an ErrDurability: the layer exists in memory
+// but its creation record could not be logged.
+func (s *Store) CreateLayer(name string) (*Layer, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if l, ok := s.layers[name]; ok {
-		return l, false
+		return l, false, nil
 	}
 	l := s.ensureLayerLocked(name)
 	s.epoch.Add(1)
-	return l, true
+	err := s.logMutation(&Mutation{Op: OpCreateLayer, Layer: name})
+	return l, true, err
 }
 
 // LayerIfExists returns the named layer without creating it. Unlike the
@@ -415,7 +422,8 @@ func (s *Store) ensureLayerLocked(name string) *Layer {
 
 // Insert adds a named region to a layer and returns its object. It is
 // safe for concurrent use; the epoch is bumped after the object is in
-// place.
+// place. An ErrDurability means the object was inserted (and is
+// returned) but its record could not be logged.
 func (s *Store) Insert(layer, name string, r *region.Region) (Object, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -426,7 +434,8 @@ func (s *Store) Insert(layer, name string, r *region.Region) (Object, error) {
 		return Object{}, err
 	}
 	s.epoch.Add(1)
-	return o, nil
+	err := s.logMutation(&Mutation{Op: OpInsert, Layer: layer, Objects: []MutObject{mutObject(o)}})
+	return o, err
 }
 
 // Upsert atomically replaces the named object in a layer: any existing
@@ -461,7 +470,8 @@ func (s *Store) Upsert(layer, name string, r *region.Region) (Object, bool, erro
 		return Object{}, false, err
 	}
 	s.epoch.Add(1)
-	return o, replaced, nil
+	err := s.logMutation(&Mutation{Op: OpUpsert, Layer: layer, Objects: []MutObject{mutObject(o)}})
+	return o, replaced, err
 }
 
 // Remove deletes the named object from a layer. It reports whether an
@@ -481,7 +491,8 @@ func (s *Store) Remove(layer, name string) (bool, error) {
 		return false, err
 	}
 	s.epoch.Add(1)
-	return true, nil
+	err := s.logMutation(&Mutation{Op: OpRemove, Layer: layer, RemoveID: o.ID})
+	return true, err
 }
 
 // MustInsert is Insert that panics on error; for tests and generators

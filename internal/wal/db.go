@@ -1,0 +1,416 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bbox"
+	"repro/internal/spatialdb"
+)
+
+// DB binds a spatialdb.Store to a Log: the durable store boolqd serves
+// when started with -data-dir.
+//
+// Lifecycle. OpenDB recovers the store — load the newest intact binary
+// snapshot, replay every WAL record past it, tolerate a torn final
+// record — then installs itself as the store's mutation sink, so every
+// acknowledged mutation is appended (and, under fsync=always, fsynced)
+// before the mutating call returns. A background checkpointer
+// periodically writes a fresh snapshot and deletes the sealed segments
+// it covers, bounding both recovery time and disk usage. Close seals the
+// log; a clean shutdown therefore loses nothing regardless of policy.
+//
+// Checkpoint protocol (crash-safe at every step):
+//
+//  1. Serialize the store under its read guard, reading the last logged
+//     LSN inside the same critical section (SaveBinaryMark) — writers
+//     append under the write lock, so the boundary is exact.
+//  2. Write the snapshot atomically: temp file, fsync, rename to
+//     snap-<lsn>.bqs, directory fsync.
+//  3. Rotate the log if the active segment holds covered records, then
+//     delete sealed segments entirely ≤ lsn and snapshots older than the
+//     retained set. A crash between any two steps leaves a directory
+//     that still recovers: the snapshot only becomes visible complete,
+//     and segments are only deleted after it is.
+type DB struct {
+	dir   string
+	log   *Log
+	store *spatialdb.Store
+
+	appliedLSN    atomic.Uint64 // last LSN both applied and logged
+	checkpointLSN atomic.Uint64 // boundary of the newest snapshot
+	ckptBytes     atomic.Int64  // log bytes at the last checkpoint
+
+	checkpoints  atomic.Int64
+	checkpointMu sync.Mutex // serializes Checkpoint
+	ckptErrs     atomic.Int64
+	sinkErrs     atomic.Int64
+
+	replayed    int64 // records replayed at boot
+	recoveryDur time.Duration
+	snapLoaded  uint64 // LSN of the snapshot recovery started from (0: none)
+	keep        int    // snapshot generations to retain
+
+	encBuf []byte // sink scratch; the store's write lock serializes access
+
+	stopc chan struct{}
+	donec chan struct{}
+	once  sync.Once
+}
+
+// DBOptions configures OpenDB.
+type DBOptions struct {
+	// Log configures the underlying record log (segment size, fsync
+	// policy).
+	Log Options
+	// Kind is the index backend for the recovered store.
+	Kind spatialdb.IndexKind
+	// Universe is the store universe when the directory holds no
+	// snapshot yet (a recovered snapshot's universe always wins).
+	Universe bbox.Box
+	// CheckpointInterval is how often the background checkpointer wakes
+	// (≤ 0: DefaultCheckpointInterval; set to a negative value AND
+	// CheckpointBytes < 0 to disable it — tests drive Checkpoint
+	// directly).
+	CheckpointInterval time.Duration
+	// CheckpointBytes triggers a checkpoint once this many WAL bytes
+	// accumulated past the last one (≤ 0: the segment size).
+	CheckpointBytes int64
+	// KeepSnapshots is how many snapshot generations to retain (≤ 0: 2 —
+	// the newest plus one fallback).
+	KeepSnapshots int
+}
+
+// Defaults for DBOptions.
+const (
+	DefaultCheckpointInterval = time.Minute
+	DefaultKeepSnapshots      = 2
+)
+
+// DBStats is the durability section of /stats.
+type DBStats struct {
+	Dir           string `json:"dir"`
+	Policy        string `json:"fsync"`
+	AppliedLSN    uint64 `json:"applied_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	Checkpoints   int64  `json:"checkpoints"`
+	CheckpointErr int64  `json:"checkpoint_errors"`
+	SinkErrors    int64  `json:"append_errors"`
+	Replayed      int64  `json:"replayed"`     // records replayed at boot
+	RecoveredFrom uint64 `json:"snapshot_lsn"` // snapshot recovery started from
+	RecoveryMS    int64  `json:"recovery_ms"`
+	Log           Stats  `json:"log"`
+}
+
+// OpenDB opens (creating if needed) a durable store in dir and recovers
+// it to the last acknowledged state.
+func OpenDB(dir string, opts DBOptions) (*DB, error) {
+	start := time.Now()
+	if opts.Universe.IsEmpty() {
+		return nil, errors.New("wal: OpenDB needs a non-empty universe")
+	}
+	log, err := Open(dir, opts.Log)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, log: log}
+	ok := false
+	defer func() {
+		if !ok {
+			log.Close()
+		}
+	}()
+
+	// Recovery step 1: newest intact snapshot.
+	store, snapLSN, err := loadBestSnapshot(dir, opts.Kind)
+	if err != nil {
+		return nil, err
+	}
+	if store == nil {
+		store = spatialdb.NewStore(opts.Universe, opts.Kind)
+	}
+	db.store = store
+	db.snapLoaded = snapLSN
+
+	// Recovery step 2: if segments were lost (or removed by hand) the
+	// snapshot can be ahead of the log; never reuse its LSNs.
+	if log.LastLSN() < snapLSN {
+		if err := log.SkipTo(snapLSN + 1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Recovery step 3: replay the tail.
+	if err := log.Replay(snapLSN, func(lsn uint64, payload []byte) error {
+		m, err := spatialdb.DecodeMutation(payload)
+		if err != nil {
+			return fmt.Errorf("wal: record %d: %w", lsn, err)
+		}
+		if err := store.ApplyMutation(m); err != nil {
+			return fmt.Errorf("wal: record %d: %w", lsn, err)
+		}
+		db.replayed++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	db.appliedLSN.Store(log.LastLSN())
+	db.checkpointLSN.Store(snapLSN)
+	db.ckptBytes.Store(log.Stats().AppendedBytes)
+	db.recoveryDur = time.Since(start)
+
+	// Go live: from here on every mutation is logged before it is
+	// acknowledged.
+	store.SetMutationSink(db.logMutation)
+
+	interval := opts.CheckpointInterval
+	if interval == 0 {
+		interval = DefaultCheckpointInterval
+	}
+	bytes := opts.CheckpointBytes
+	if bytes == 0 {
+		bytes = log.opts.SegmentBytes
+	}
+	keep := opts.KeepSnapshots
+	if keep <= 0 {
+		keep = DefaultKeepSnapshots
+	}
+	db.keep = keep
+	db.stopc = make(chan struct{})
+	db.donec = make(chan struct{})
+	if interval > 0 {
+		go db.checkpointLoop(interval, bytes)
+	} else {
+		close(db.donec)
+	}
+	ok = true
+	return db, nil
+}
+
+// Store returns the recovered store. Mutations through it are logged;
+// do not swap it out from under the DB.
+func (db *DB) Store() *spatialdb.Store { return db.store }
+
+// Log returns the underlying record log.
+func (db *DB) Log() *Log { return db.log }
+
+// Replayed returns how many WAL records boot-time recovery replayed.
+func (db *DB) Replayed() int64 { return db.replayed }
+
+// Stats returns the durability counters.
+func (db *DB) Stats() DBStats {
+	return DBStats{
+		Dir:           db.dir,
+		Policy:        db.log.Policy().String(),
+		AppliedLSN:    db.appliedLSN.Load(),
+		CheckpointLSN: db.checkpointLSN.Load(),
+		Checkpoints:   db.checkpoints.Load(),
+		CheckpointErr: db.ckptErrs.Load(),
+		SinkErrors:    db.sinkErrs.Load(),
+		Replayed:      db.replayed,
+		RecoveredFrom: db.snapLoaded,
+		RecoveryMS:    db.recoveryDur.Milliseconds(),
+		Log:           db.log.Stats(),
+	}
+}
+
+// logMutation is the store's mutation sink: encode, append, remember the
+// position. It runs under the store's write lock, so encBuf needs no
+// further guard and records are appended in exactly apply order.
+func (db *DB) logMutation(m *spatialdb.Mutation) error {
+	db.encBuf = spatialdb.AppendMutation(db.encBuf[:0], m)
+	lsn, err := db.log.Append(db.encBuf)
+	if err != nil {
+		db.sinkErrs.Add(1)
+		return err
+	}
+	db.appliedLSN.Store(lsn)
+	return nil
+}
+
+// Checkpoint writes a snapshot of the current state, seals and deletes
+// the WAL segments it covers, and prunes old snapshots. It returns the
+// snapshot's boundary LSN. Concurrent calls serialize; mutations proceed
+// concurrently except during the state serialization itself (which holds
+// the store's read guard).
+func (db *DB) Checkpoint() (uint64, error) {
+	db.checkpointMu.Lock()
+	defer db.checkpointMu.Unlock()
+	// Serialize through a temp file in the same directory; the boundary
+	// LSN — and with it the final name — is only known once the store's
+	// read guard is held, so the atomic write is spelled out here rather
+	// than through WriteFileAtomic.
+	var lsn uint64
+	tmp, err := os.CreateTemp(db.dir, snapPrefix+"*"+tmpSuffix)
+	if err != nil {
+		db.ckptErrs.Add(1)
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	cleanup := func(err error) (uint64, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		db.ckptErrs.Add(1)
+		return 0, err
+	}
+	if err := db.store.SaveBinaryMark(tmp, func() { lsn = db.appliedLSN.Load() }); err != nil {
+		return cleanup(err)
+	}
+	if lsn == db.checkpointLSN.Load() {
+		// Nothing was logged since the last checkpoint; discard quietly.
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return lsn, nil
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("wal: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("wal: %w", err))
+	}
+	final := filepath.Join(db.dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		db.ckptErrs.Add(1)
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(db.dir); err != nil {
+		db.ckptErrs.Add(1)
+		return 0, err
+	}
+	db.checkpointLSN.Store(lsn)
+	db.ckptBytes.Store(db.log.Stats().AppendedBytes)
+	db.checkpoints.Add(1)
+
+	// Seal the covered boundary, then drop what the snapshot made
+	// redundant. Failures here cost disk, not correctness.
+	if db.log.SegmentStart() <= lsn {
+		if err := db.log.Rotate(); err != nil {
+			db.ckptErrs.Add(1)
+			return lsn, err
+		}
+	}
+	if _, err := db.log.TruncateBelow(lsn); err != nil {
+		db.ckptErrs.Add(1)
+		return lsn, err
+	}
+	if err := db.pruneSnapshots(); err != nil {
+		db.ckptErrs.Add(1)
+		return lsn, err
+	}
+	return lsn, nil
+}
+
+// pruneSnapshots deletes all but the newest keep snapshots.
+func (db *DB) pruneSnapshots() error {
+	lsns, err := scanSnapshots(db.dir)
+	if err != nil {
+		return err
+	}
+	if len(lsns) <= db.keep {
+		return nil
+	}
+	for _, lsn := range lsns[:len(lsns)-db.keep] {
+		name := filepath.Join(db.dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
+		if err := os.Remove(name); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return syncDir(db.dir)
+}
+
+// checkpointLoop wakes every interval and checkpoints when enough WAL
+// bytes accumulated since the last snapshot.
+func (db *DB) checkpointLoop(interval time.Duration, bytes int64) {
+	defer close(db.donec)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if db.appliedLSN.Load() <= db.checkpointLSN.Load() {
+				continue
+			}
+			if bytes > 0 && db.log.Stats().AppendedBytes-db.ckptBytes.Load() < bytes {
+				continue
+			}
+			_, _ = db.Checkpoint() // failures are counted in ckptErrs
+		case <-db.stopc:
+			return
+		}
+	}
+}
+
+// Close stops the checkpointer and seals the log: buffered records are
+// flushed and fsynced regardless of policy, so a graceful shutdown
+// (SIGTERM) loses nothing. The store stays readable but further
+// mutations will fail their durability hook.
+func (db *DB) Close() error {
+	var err error
+	db.once.Do(func() {
+		close(db.stopc)
+		<-db.donec
+		err = db.log.Close()
+	})
+	return err
+}
+
+// ---- snapshot discovery ----
+
+// scanSnapshots lists snapshot boundary LSNs in dir, ascending.
+func scanSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		numeric := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+		lsn, err := strconv.ParseUint(numeric, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unrecognized snapshot file %q", name)
+		}
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	return lsns, nil
+}
+
+// loadBestSnapshot loads the newest snapshot that passes its checksum,
+// falling back to older ones (a torn checkpoint cannot happen — renames
+// are atomic — but a corrupted disk block can). Returns (nil, 0, nil)
+// when no loadable snapshot exists.
+func loadBestSnapshot(dir string, kind spatialdb.IndexKind) (*spatialdb.Store, uint64, error) {
+	lsns, err := scanSnapshots(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(lsns) - 1; i >= 0; i-- {
+		name := filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsns[i], snapSuffix))
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: %w", err)
+		}
+		store, err := spatialdb.LoadBinary(f, kind)
+		f.Close()
+		if err == nil {
+			return store, lsns[i], nil
+		}
+		// Corrupt: set it aside so the next boot does not retry it, and
+		// fall back to the previous generation.
+		_ = os.Rename(name, name+".corrupt")
+	}
+	return nil, 0, nil
+}

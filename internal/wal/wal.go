@@ -1,0 +1,717 @@
+// Package wal implements boolqd's durable write path (DESIGN.md §6): a
+// segmented append-only write-ahead log of the store's mutation records,
+// binary snapshots checkpointed beside it, and crash recovery that loads
+// the latest snapshot and replays the log tail.
+//
+// The package has two layers. Log (this file) is a generic record log:
+// length-prefixed CRC32-checksummed byte records in size-rotated segment
+// files, with a configurable fsync policy and tolerance for a torn final
+// record. DB (db.go) binds a Log to a spatialdb.Store: it hooks the
+// store's mutation sink, recovers on open, checkpoints snapshots in the
+// background, and truncates sealed segments a snapshot has made
+// redundant.
+//
+// On-disk layout of a data directory:
+//
+//	wal-00000000000000000001.log    segment whose first record is LSN 1
+//	wal-00000000000000004096.log    the active (newest) segment
+//	snap-00000000000000004095.bqs   binary snapshot covering LSNs ≤ 4095
+//
+// Record framing within a segment:
+//
+//	length  uint32 (little-endian)  payload bytes
+//	crc32   uint32 (IEEE)           checksum of the payload
+//	payload length bytes
+//
+// LSNs are implicit: records are numbered consecutively from the
+// segment's first LSN (carried in its filename), so the log needs no
+// index — recovery derives every position by scanning.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Policy selects when appended records are fsynced to stable storage.
+type Policy int
+
+// Fsync policies.
+const (
+	// SyncAlways fsyncs inside every Append: a mutation is acknowledged
+	// only once its record is on stable storage. The strongest guarantee
+	// and the slowest write path.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs from a background ticker (Options.Interval):
+	// a crash loses at most the last interval's acknowledged writes.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache: a crash loses
+	// whatever the kernel had not written back. Fastest; for caches and
+	// rebuildable data only.
+	SyncNever
+)
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the flag spelling of a fsync policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (≤ 0: DefaultSegmentBytes). Sealed segments are the unit of
+	// checkpoint truncation, so smaller segments bound disk usage more
+	// tightly at the cost of more files.
+	SegmentBytes int64
+	// Policy is the fsync policy (default SyncAlways — zero value is the
+	// safe one).
+	Policy Policy
+	// Interval is the SyncInterval flush period (≤ 0:
+	// DefaultSyncInterval).
+	Interval time.Duration
+}
+
+// Defaults for Options.
+const (
+	DefaultSegmentBytes = 64 << 20
+	DefaultSyncInterval = 100 * time.Millisecond
+)
+
+// maxRecordBytes bounds a single record (a corrupted length prefix must
+// not make replay attempt a multi-gigabyte allocation).
+const maxRecordBytes = 256 << 20
+
+// recordHeaderBytes is the length prefix plus the checksum.
+const recordHeaderBytes = 8
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".bqs"
+	tmpSuffix  = ".tmp"
+)
+
+// Stats is a point-in-time snapshot of a Log's counters.
+type Stats struct {
+	Appends       int64  `json:"appends"`        // records appended this process
+	AppendedBytes int64  `json:"appended_bytes"` // record bytes appended (incl. framing)
+	Fsyncs        int64  `json:"fsyncs"`         // fsync calls issued
+	Rotations     int64  `json:"rotations"`      // segments sealed by rotation
+	Segments      int    `json:"segments"`       // segment files on disk
+	LastLSN       uint64 `json:"last_lsn"`       // newest assigned LSN (0: none)
+	TornTail      bool   `json:"torn_tail"`      // open truncated a torn final record
+}
+
+// Log is a segmented append-only record log. Append/Sync/Rotate/
+// TruncateBelow are safe for concurrent use; Replay must run before
+// appending starts (recovery-time only).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	starts   []uint64 // first LSN of each segment on disk, ascending; last is active
+	curStart uint64
+	size     int64  // bytes in the active segment
+	next     uint64 // LSN the next Append assigns
+	dirty    bool   // unsynced bytes pending
+	err      error  // sticky: a failed write poisons the log
+	closed   bool
+
+	appends   atomic.Int64
+	bytes     atomic.Int64
+	fsyncs    atomic.Int64
+	rotations atomic.Int64
+	tornTail  bool
+
+	stopc chan struct{} // interval syncer lifecycle
+	donec chan struct{}
+}
+
+// Open opens (creating if needed) the log in dir. It scans the newest
+// segment to find the next LSN, truncating a torn final record — the
+// expected remnant of a crash mid-append — so the log is immediately
+// appendable. Corruption anywhere else is reported by Replay, not here.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSyncInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	starts, err := scanSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(starts) == 0 {
+		l.starts = []uint64{1}
+		l.curStart, l.next = 1, 1
+		if err := l.createSegmentLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		l.starts = starts
+		l.curStart = starts[len(starts)-1]
+		path := l.segPath(l.curStart)
+		count, goodBytes, torn, err := scanTail(path)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			if err := os.Truncate(path, goodBytes); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+			l.tornTail = true
+		}
+		l.next = l.curStart + uint64(count)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+		l.w = bufio.NewWriter(f)
+		l.size = goodBytes
+	}
+	if opts.Policy == SyncInterval {
+		l.stopc = make(chan struct{})
+		l.donec = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Policy returns the configured fsync policy.
+func (l *Log) Policy() Policy { return l.opts.Policy }
+
+// LastLSN returns the newest assigned LSN (0 if the log is empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// SegmentStart returns the first LSN of the active segment.
+func (l *Log) SegmentStart() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.curStart
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	segments := len(l.starts)
+	last := l.next - 1
+	torn := l.tornTail
+	l.mu.Unlock()
+	return Stats{
+		Appends:       l.appends.Load(),
+		AppendedBytes: l.bytes.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		Rotations:     l.rotations.Load(),
+		Segments:      segments,
+		LastLSN:       last,
+		TornTail:      torn,
+	}
+}
+
+// Append writes one record and returns its LSN. Under SyncAlways the
+// record is on stable storage when Append returns; under the other
+// policies it is buffered. A write failure poisons the log: every later
+// Append fails too, because bytes may have reached the file partially
+// and anything appended after them would be unreachable at replay.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log is closed")
+	}
+	if l.err != nil {
+		return 0, fmt.Errorf("wal: log is poisoned by an earlier failure: %w", l.err)
+	}
+	rec := int64(recordHeaderBytes + len(payload))
+	if l.size > 0 && l.size+rec > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [recordHeaderBytes]byte
+	putU32(hdr[0:4], uint32(len(payload)))
+	putU32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, l.poisonLocked(err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, l.poisonLocked(err)
+	}
+	lsn := l.next
+	l.next++
+	l.size += rec
+	l.dirty = true
+	l.appends.Add(1)
+	l.bytes.Add(rec)
+	if l.opts.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync flushes buffered records and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.err != nil {
+		return fmt.Errorf("wal: log is poisoned by an earlier failure: %w", l.err)
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.poisonLocked(err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.poisonLocked(err)
+	}
+	l.fsyncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+// poisonLocked records a write-path failure and returns it wrapped.
+func (l *Log) poisonLocked(err error) error {
+	l.err = err
+	return fmt.Errorf("wal: %w", err)
+}
+
+// Rotate seals the active segment (flush + fsync + close) and starts a
+// new one. Sealed segments are immutable and become candidates for
+// TruncateBelow.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.size == 0 {
+		return nil // already fresh
+	}
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if l.err != nil {
+		return fmt.Errorf("wal: log is poisoned by an earlier failure: %w", l.err)
+	}
+	// Seal: everything in a sealed segment is durable regardless of
+	// policy, so truncation decisions never race the page cache.
+	if l.dirty {
+		if err := l.w.Flush(); err != nil {
+			return l.poisonLocked(err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return l.poisonLocked(err)
+		}
+		l.fsyncs.Add(1)
+		l.dirty = false
+	}
+	if err := l.f.Close(); err != nil {
+		return l.poisonLocked(err)
+	}
+	l.curStart = l.next
+	l.starts = append(l.starts, l.next)
+	l.rotations.Add(1)
+	return l.createSegmentLocked()
+}
+
+// createSegmentLocked creates the active segment file for l.curStart.
+func (l *Log) createSegmentLocked() error {
+	path := l.segPath(l.curStart)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return l.poisonLocked(err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.size = 0
+	l.dirty = false
+	if err := syncDir(l.dir); err != nil {
+		return l.poisonLocked(err)
+	}
+	return nil
+}
+
+// SkipTo advances the log so the next Append assigns at least lsn. It is
+// a recovery-time guard: if a snapshot is ahead of the log (segments
+// deleted by hand), appending with reused LSNs would make the new
+// records invisible to the next recovery. Requires rotation if the
+// active segment holds records.
+func (l *Log) SkipTo(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next >= lsn {
+		return nil
+	}
+	if l.size > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	// The active segment is empty: rename it to the new start.
+	old := l.segPath(l.curStart)
+	if err := l.f.Close(); err != nil {
+		return l.poisonLocked(err)
+	}
+	if err := os.Remove(old); err != nil {
+		return l.poisonLocked(err)
+	}
+	l.next = lsn
+	l.curStart = lsn
+	l.starts[len(l.starts)-1] = lsn
+	return l.createSegmentLocked()
+}
+
+// Close flushes and fsyncs pending records, seals the active segment and
+// stops the interval syncer. The log must not be used afterwards.
+func (l *Log) Close() error {
+	if l.stopc != nil {
+		close(l.stopc)
+		<-l.donec
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var firstErr error
+	if l.err == nil {
+		if err := l.w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := l.f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		} else if err == nil {
+			l.fsyncs.Add(1)
+		}
+	}
+	if err := l.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (l *Log) syncLoop() {
+	defer close(l.donec)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				_ = l.syncLocked() // poisoning is visible to the next Append
+			}
+			l.mu.Unlock()
+		case <-l.stopc:
+			return
+		}
+	}
+}
+
+// Replay streams every record with LSN > after, in order, to fn. A
+// decoding failure in a sealed segment is a hard error (mid-log
+// corruption cannot be skipped without losing everything after it); the
+// active segment's tail was already sanitized by Open. Replay must not
+// run concurrently with Append — it is for recovery, before the log goes
+// live.
+func (l *Log) Replay(after uint64, fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.w != nil && !l.closed {
+		// Records may still sit in the write buffer; replay reads the
+		// files, so push them out (no fsync — durability is unchanged).
+		if err := l.w.Flush(); err != nil {
+			perr := l.poisonLocked(err)
+			l.mu.Unlock()
+			return perr
+		}
+	}
+	starts := append([]uint64(nil), l.starts...)
+	next := l.next
+	l.mu.Unlock()
+	for i, start := range starts {
+		var end uint64 // first LSN beyond this segment
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		} else {
+			end = next
+		}
+		if end <= after+1 { // segment entirely ≤ after (or empty)
+			continue
+		}
+		sealed := i+1 < len(starts)
+		if err := replaySegment(l.segPath(start), start, end, sealed, after, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment reads one segment file, invoking fn for records with
+// lsn > after and lsn < end.
+func replaySegment(path string, start, end uint64, sealed bool, after uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	lsn := start
+	var hdr [recordHeaderBytes]byte
+	var buf []byte
+	for lsn < end {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return fmt.Errorf("wal: %s: record %d: truncated header: %w", filepath.Base(path), lsn, err)
+		}
+		n := getU32(hdr[0:4])
+		if n > maxRecordBytes {
+			return fmt.Errorf("wal: %s: record %d: impossible length %d", filepath.Base(path), lsn, n)
+		}
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("wal: %s: record %d: truncated payload: %w", filepath.Base(path), lsn, err)
+		}
+		if crc32.ChecksumIEEE(buf) != getU32(hdr[4:8]) {
+			return fmt.Errorf("wal: %s: record %d: checksum mismatch", filepath.Base(path), lsn)
+		}
+		if lsn > after {
+			if err := fn(lsn, buf); err != nil {
+				return err
+			}
+		}
+		lsn++
+	}
+	if sealed {
+		// A sealed segment must end exactly at its successor's start.
+		if _, err := br.ReadByte(); err != io.EOF {
+			return fmt.Errorf("wal: %s: trailing bytes after record %d", filepath.Base(path), lsn-1)
+		}
+	}
+	return nil
+}
+
+// TruncateBelow deletes sealed segments whose every record is ≤ lsn —
+// i.e. segments a snapshot at lsn has made redundant — and returns how
+// many were removed. The active segment is never removed.
+func (l *Log) TruncateBelow(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for len(l.starts) > 1 && l.starts[1] <= lsn+1 {
+		// The next segment starts at starts[1], so this one's records end
+		// at starts[1]-1 ≤ lsn: every record is covered by the snapshot.
+		if err := os.Remove(l.segPath(l.starts[0])); err != nil {
+			return removed, fmt.Errorf("wal: %w", err)
+		}
+		l.starts = l.starts[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// ---- segment scanning ----
+
+func (l *Log) segPath(start uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%020d%s", segPrefix, start, segSuffix))
+}
+
+// scanSegments lists segment start LSNs in dir, ascending.
+func scanSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var starts []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numeric := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		start, err := strconv.ParseUint(numeric, 10, 64)
+		if err != nil || start == 0 {
+			return nil, fmt.Errorf("wal: unrecognized segment file %q", name)
+		}
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for i := 1; i < len(starts); i++ {
+		if starts[i] == starts[i-1] {
+			return nil, fmt.Errorf("wal: duplicate segment start %d", starts[i])
+		}
+	}
+	return starts, nil
+}
+
+// scanTail reads the newest segment, counting whole records and finding
+// the byte offset where the last intact record ends. Anything after it —
+// a short header, a short payload, a checksum mismatch, an absurd length
+// — is a torn final append, the expected shape of a crash.
+func scanTail(path string) (count int, goodBytes int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	size := fi.Size()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var hdr [recordHeaderBytes]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return count, goodBytes, false, nil
+			}
+			return count, goodBytes, true, nil // short header
+		}
+		n := getU32(hdr[0:4])
+		if n > maxRecordBytes || int64(n) > size-goodBytes-recordHeaderBytes {
+			return count, goodBytes, true, nil // absurd or overlong length
+		}
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return count, goodBytes, true, nil // short payload
+		}
+		if crc32.ChecksumIEEE(buf) != getU32(hdr[4:8]) {
+			return count, goodBytes, true, nil // torn or corrupt payload
+		}
+		count++
+		goodBytes += recordHeaderBytes + int64(n)
+	}
+}
+
+// ---- small helpers ----
+
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+// syncDir fsyncs a directory so renames, creations and removals in it
+// are durable. EINVAL is tolerated: some filesystems reject fsync on
+// directories, and on those the rename itself is the best available
+// barrier.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes a file so a crash can never leave a partial or
+// corrupt result visible under the final name: the content goes to a
+// temp file in the same directory, is fsynced, and is renamed into
+// place, followed by a directory fsync. Any existing file at path is
+// replaced atomically.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(dir)
+}
