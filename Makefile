@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: build test race bench vet
+.PHONY: build test race bench vet golden golden-update
 
 build:
 	go build ./...
@@ -15,7 +15,17 @@ vet:
 	go vet ./...
 
 # bench runs the tracked benchmark harness with -benchmem and refreshes
-# BENCH_PR6.json (see scripts/bench.sh for the BENCH/BENCHTIME/COUNT/OUT
+# BENCH_PR7.json (see scripts/bench.sh for the BENCH/BENCHTIME/COUNT/OUT
 # knobs and docs/API.md + DESIGN.md §5 for what the numbers mean).
 bench:
 	./scripts/bench.sh
+
+# golden diffs every corpus query's result set against the recorded
+# expectations in internal/golden/testdata/golden (uncached, so CI and
+# local runs always re-execute); golden-update re-records them from the
+# naive reference executor after an intentional semantic change.
+golden:
+	go test ./internal/golden/... -count=1
+
+golden-update:
+	go test ./internal/golden -run TestCorpus -update -count=1

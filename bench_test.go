@@ -386,6 +386,71 @@ func BenchmarkE12OrderPlanning(b *testing.B) {
 	})
 }
 
+// BenchmarkE12AdaptiveExecution is the tracked adaptive-planning
+// benchmark: the smuggler query executed under the best and worst static
+// retrieval orders (found by measuring every permutation once), the
+// static SuggestOrder heuristic, and the adaptive planner warmed with one
+// observation per order. The acceptance shape: adaptive-warm matches the
+// best order and beats the worst by well over 2×.
+func BenchmarkE12AdaptiveExecution(b *testing.B) {
+	store, params := smugglerSetup(4)
+	base := query.Smuggler()
+	epoch := store.Epoch()
+	tuner := query.NewTuner(8)
+
+	type ordered struct {
+		plan       *query.Plan
+		candidates int
+	}
+	var best, worst *ordered
+	for _, p := range [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		q := &query.Query{Sys: base.Sys}
+		for _, i := range p {
+			q.Retrieve = append(q.Retrieve, base.Retrieve[i])
+		}
+		plan, err := query.Compile(q, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := plan.Run(store, params, query.DefaultOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuner.Observe("smuggler", plan.OrderKey(), epoch, res.Stats)
+		o := &ordered{plan: plan, candidates: res.Stats.Candidates}
+		if best == nil || o.candidates < best.candidates {
+			best = o
+		}
+		if worst == nil || o.candidates > worst.candidates {
+			worst = o
+		}
+	}
+	adaptive, err := query.CompileAdaptive(base, store, query.AdaptiveOptions{
+		Params: params, Tuner: tuner, TunerKey: "smuggler", Epoch: epoch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suggested, err := query.Compile(query.SuggestOrder(base, store), store)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(plan *query.Plan) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Run(store, params, query.DefaultOptions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("best-order", run(best.plan))
+	b.Run("worst-order", run(worst.plan))
+	b.Run("suggested-order", run(suggested))
+	b.Run("adaptive-warm", run(adaptive))
+}
+
 func BenchmarkE13RTreeBuild(b *testing.B) {
 	rng := workload.NewRNG(31)
 	entries := make([]rtree.Entry, 10000)

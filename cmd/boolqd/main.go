@@ -83,6 +83,11 @@ func run() error {
 		seed  = flag.Uint64("seed", 42, "demo map seed")
 		scale = flag.Int("scale", 1, "demo map size multiplier")
 
+		planMode = flag.String("plan", "adaptive",
+			"planning mode: adaptive (statistics-driven order and backend choice with run-cost feedback) or static (the query's own order; for A/B comparison)")
+		altIndexes = flag.String("alt-indexes", "",
+			"comma-separated extra index backends to maintain per layer (e.g. rtree,gridfile), giving the adaptive planner per-step backend choices; empty: primary only")
+
 		dataDir = flag.String("data-dir", "",
 			"durable mode: directory for the write-ahead log and snapshots (empty: in-memory only)")
 		fsyncPolicy = flag.String("fsync", "interval",
@@ -99,6 +104,14 @@ func run() error {
 	flag.Parse()
 
 	kind, err := parseIndex(*indexName)
+	if err != nil {
+		return err
+	}
+	staticPlan, err := parsePlanMode(*planMode)
+	if err != nil {
+		return err
+	}
+	altKinds, err := parseAltIndexes(*altIndexes)
 	if err != nil {
 		return err
 	}
@@ -153,6 +166,10 @@ func run() error {
 			return err
 		}
 	}
+	if len(altKinds) > 0 {
+		store.EnableAltIndexes(altKinds...)
+		log.Printf("alternate indexes enabled: %v", altKinds)
+	}
 	for _, name := range store.LayerNames() {
 		l := store.Layer(name)
 		log.Printf("layer %q: %d objects (%s)", name, l.Len(), l.Kind())
@@ -160,7 +177,7 @@ func run() error {
 
 	srv := server.New(store, server.Options{
 		CacheSize: *cacheSize, Workers: *workers, BatchWorkers: *batchWork,
-		QueryTimeout: *queryTimeout, Durable: db,
+		QueryTimeout: *queryTimeout, Durable: db, StaticPlan: staticPlan,
 	})
 	handler.Set(srv.Handler())
 	log.Print("serving")
@@ -360,6 +377,37 @@ func parseUniverse(s string) (bbox.Box, error) {
 		return bbox.Box{}, fmt.Errorf("universe: empty box %q", s)
 	}
 	return u, nil
+}
+
+// parsePlanMode resolves -plan; true means static (adaptive disabled).
+func parsePlanMode(mode string) (bool, error) {
+	switch mode {
+	case "adaptive":
+		return false, nil
+	case "static":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown plan mode %q (want adaptive or static)", mode)
+}
+
+// parseAltIndexes resolves -alt-indexes into index kinds.
+func parseAltIndexes(s string) ([]spatialdb.IndexKind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var kinds []spatialdb.IndexKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := parseIndex(part)
+		if err != nil {
+			return nil, fmt.Errorf("alt-indexes: %w", err)
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 func parseIndex(name string) (spatialdb.IndexKind, error) {

@@ -1,0 +1,397 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+// Statistics-driven adaptive planning. Where SuggestOrder ranks retrieval
+// orders by layer size alone and SuggestOrderSampled probes the real
+// indexes, CompileAdaptive costs every order against the per-layer
+// statistics maintained at ingest (internal/stats): each candidate order
+// is compiled, its per-step range-query templates are evaluated over a
+// representative environment, and the histograms turn each template into
+// an expected fanout. The cost model is the one SuggestOrderSampled uses —
+// the expected number of candidates the executor visits,
+//
+//	cost(order) = f1 + f1·f2 + f1·f2·f3 + …
+//
+// — but no index is touched: estimation is pure arithmetic over the
+// histograms, so it is safe and cheap to run per query. Observed run
+// costs, when a Tuner holds a fresh observation for an order, override the
+// estimate, so repeated queries converge on measured rather than modeled
+// behavior. Finally, when the store exposes alternate index backends, the
+// planner routes individual steps to the backend the estimate favors
+// (scan for unselective steps, a structured index for selective ones on a
+// scan-primary store).
+
+// maxAdaptivePermute bounds the permutation enumeration; above it the
+// planner falls back to the static greedy order (matching
+// SuggestOrderSampled's bound).
+const maxAdaptivePermute = 5
+
+// DefaultStaleEpochs is how many store epochs (mutations) a Tuner
+// observation stays trustworthy. Past the bound the data may have shifted
+// under the measured cost, and the planner reverts to the histogram
+// estimate until a fresh run is observed.
+const DefaultStaleEpochs = 512
+
+// Backend-override thresholds, as estimated match fractions of the
+// layer's population. A range query expected to match most of a layer
+// gains nothing from index traversal — a scan visits the same objects
+// without the structural overhead. A highly selective query on a
+// scan-primary layer is the mirror case: a structured alternate prunes
+// where the scan cannot.
+const (
+	scanFraction = 0.3
+	altFraction  = 0.02
+)
+
+// Observation is one measured execution cost for a (query, order) pair.
+type Observation struct {
+	Epoch      uint64 // store epoch when the run was observed
+	Candidates int    // candidates the executor visited
+	Solutions  int    // solutions it emitted
+}
+
+// Tuner accumulates observed run costs keyed by query and retrieval
+// order, the feedback half of the adaptive planner. It is safe for
+// concurrent use; the query-key population is bounded FIFO so a stream of
+// distinct queries cannot grow it without bound.
+type Tuner struct {
+	mu    sync.Mutex
+	cap   int
+	keys  []string // insertion order, for FIFO eviction
+	byKey map[string]map[string]Observation
+}
+
+// NewTuner returns a tuner tracking at most capacity distinct query keys
+// (≤ 0 selects a default of 256).
+func NewTuner(capacity int) *Tuner {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tuner{cap: capacity, byKey: make(map[string]map[string]Observation)}
+}
+
+// Observe records one finished run's cost for the query key under the
+// order it executed with, reporting whether it was recorded. Truncated,
+// cancelled and ground-failed runs are skipped: their candidate counts
+// measure the interruption, not the order.
+func (t *Tuner) Observe(key, order string, epoch uint64, st Stats) bool {
+	if key == "" || order == "" || st.Truncated || st.Cancelled || st.GroundFailed {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.byKey[key]
+	if !ok {
+		if len(t.keys) >= t.cap {
+			delete(t.byKey, t.keys[0])
+			t.keys = t.keys[1:]
+		}
+		m = make(map[string]Observation)
+		t.byKey[key] = m
+		t.keys = append(t.keys, key)
+	}
+	m[order] = Observation{Epoch: epoch, Candidates: st.Candidates, Solutions: st.Solutions}
+	return true
+}
+
+// Lookup returns a copy of the observations recorded for the query key
+// (nil when none).
+func (t *Tuner) Lookup(key string) map[string]Observation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.byKey[key]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]Observation, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Len reports how many query keys currently hold observations.
+func (t *Tuner) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byKey)
+}
+
+// AdaptiveOptions configures CompileAdaptive. The zero value is valid:
+// orders are ranked by histogram estimate alone, with backend overrides
+// enabled.
+type AdaptiveOptions struct {
+	// Params are the query's bound parameter regions, when the caller has
+	// them at plan time. Estimation uses their bounding boxes; parameters
+	// not present plan against the universe box (sound — the box operators
+	// are monotone — just less selective).
+	Params map[string]*region.Region
+
+	// Tuner and TunerKey connect the feedback loop: orders with a fresh
+	// observation under TunerKey are costed by their measured candidate
+	// count instead of the estimate.
+	Tuner    *Tuner
+	TunerKey string
+
+	// Epoch is the store epoch to judge observation freshness against
+	// (0 reads the store's current epoch). StaleEpochs overrides
+	// DefaultStaleEpochs when positive.
+	Epoch       uint64
+	StaleEpochs uint64
+
+	// NoBackendPick disables the per-step backend overrides, leaving
+	// every step on its layer's primary index (for A/B comparisons).
+	NoBackendPick bool
+}
+
+// AdaptiveInfo records how CompileAdaptive chose the plan it returned.
+type AdaptiveInfo struct {
+	Order            string  // chosen retrieval order, "T→R→B"
+	Reordered        bool    // the chosen order differs from the query's
+	EstCost          float64 // cost of the chosen order under the model used
+	FeedbackUsed     int     // orders costed from a fresh Tuner observation
+	BackendOverrides int     // steps routed to a non-primary backend
+	Static           bool    // fell back to the static heuristic order
+}
+
+// outPositions maps the reordered query's step index back to the
+// original query's binding position (by variable name, which is unique
+// per binding).
+func outPositions(orig, reordered *Query) []int {
+	pos := make(map[string]int, len(orig.Retrieve))
+	for i, b := range orig.Retrieve {
+		pos[b.Var] = i
+	}
+	out := make([]int, len(reordered.Retrieve))
+	for j, b := range reordered.Retrieve {
+		out[j] = pos[b.Var]
+	}
+	return out
+}
+
+// orderKey renders a query's retrieval order as "T→R→B".
+func orderKey(q *Query) string {
+	names := make([]string, len(q.Retrieve))
+	for i, b := range q.Retrieve {
+		names[i] = b.Var
+	}
+	return strings.Join(names, "→")
+}
+
+// CompileAdaptive compiles the query with the retrieval order (and, per
+// step, the index backend) the layer statistics favor. Results are
+// identical to Compile for any order — only cost changes. Queries with
+// more than maxAdaptivePermute retrieval variables fall back to the
+// static SuggestOrder ranking; everything else enumerates the n! ≤ 120
+// orders, compiles each (per-order compile failures are skipped) and
+// keeps the cheapest under the histogram estimate, with fresh Tuner
+// observations overriding estimates where available. Ties go to the
+// earliest-enumerated order, so the query's own order wins when nothing
+// separates the candidates.
+func CompileAdaptive(q *Query, store *spatialdb.Store, opts AdaptiveOptions) (*Plan, error) {
+	n := len(q.Retrieve)
+	if n > maxAdaptivePermute {
+		plan, err := Compile(SuggestOrder(q, store), store)
+		if err != nil {
+			return nil, err
+		}
+		plan.outPos = outPositions(q, plan.Query)
+		plan.Adaptive = &AdaptiveInfo{
+			Order:     plan.OrderKey(),
+			Reordered: plan.OrderKey() != orderKey(q),
+			Static:    true,
+		}
+		if !opts.NoBackendPick {
+			plan.Adaptive.BackendOverrides = chooseBackends(plan, store, paramBoxes(q, store, opts.Params))
+		}
+		return plan, nil
+	}
+
+	epoch := opts.Epoch
+	if epoch == 0 {
+		epoch = store.Epoch()
+	}
+	stale := opts.StaleEpochs
+	if stale == 0 {
+		stale = DefaultStaleEpochs
+	}
+	var observed map[string]Observation
+	if opts.Tuner != nil && opts.TunerKey != "" {
+		observed = opts.Tuner.Lookup(opts.TunerKey)
+	}
+
+	paramBox := paramBoxes(q, store, opts.Params)
+	var (
+		best         *Plan
+		bestCost     = math.Inf(1)
+		feedbackUsed int
+		firstErr     error
+	)
+	// Compile never runs under the store's read guard here: it re-enters
+	// RLock through validate, and a recursive RLock deadlocks against a
+	// pending writer. Estimation takes the guard internally per candidate.
+	for _, perm := range permutations(n) {
+		cand := &Query{Sys: q.Sys}
+		for _, i := range perm {
+			cand.Retrieve = append(cand.Retrieve, q.Retrieve[i])
+		}
+		plan, err := Compile(cand, store)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// Step j retrieves the original query's binding perm[j]; emit
+		// solutions back in the caller's order.
+		plan.outPos = append([]int(nil), perm...)
+		cost, _ := estimatePlanCost(plan, store, paramBox)
+		if o, ok := observed[plan.OrderKey()]; ok && epoch >= o.Epoch && epoch-o.Epoch <= stale {
+			cost = float64(o.Candidates)
+			feedbackUsed++
+		}
+		if cost < bestCost {
+			best, bestCost = plan, cost
+		}
+	}
+	if best == nil {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return Compile(q, store) // n == 0: surface Compile's own diagnostics
+	}
+	best.Adaptive = &AdaptiveInfo{
+		Order:        best.OrderKey(),
+		Reordered:    best.OrderKey() != orderKey(q),
+		EstCost:      bestCost,
+		FeedbackUsed: feedbackUsed,
+	}
+	if !opts.NoBackendPick {
+		best.Adaptive.BackendOverrides = chooseBackends(best, store, paramBox)
+	}
+	return best, nil
+}
+
+// paramBoxes builds the representative environment estimation evaluates
+// box programs over: every parameter is bound to its region's bounding
+// box (clipped to the universe), or to the universe box when the caller
+// did not supply it. Retrieval variables start unbound; estimatePlanCost
+// fills them in step order with representative boxes.
+func paramBoxes(q *Query, store *spatialdb.Store, params map[string]*region.Region) []bbox.Box {
+	envBox := make([]bbox.Box, q.Sys.Vars.Len())
+	uni := store.Universe()
+	for _, v := range paramIDs(q) {
+		envBox[v] = uni
+		name := q.Sys.Vars.Name(v)
+		if r, ok := params[name]; ok && r != nil && !r.IsEmpty() {
+			if b := r.BoundingBox().Meet(uni); !b.IsEmpty() {
+				envBox[v] = b
+			}
+		}
+	}
+	return envBox
+}
+
+// estimatePlanCost walks the plan's steps once, instantiating each range
+// template over the representative environment and asking the layer's
+// histograms for the expected match count. Returns the cumulative-width
+// cost and the per-step estimated match fractions (used by
+// chooseBackends). A missing layer costs +inf — it can only fail at run
+// time, so no order that reaches it early should ever win.
+func estimatePlanCost(plan *Plan, store *spatialdb.Store, paramBox []bbox.Box) (float64, []float64) {
+	store.RLock()
+	defer store.RUnlock()
+	return estimateStepsLocked(plan, store, paramBox, nil)
+}
+
+// estimateStepsLocked is the shared walk under the store's read guard.
+// When pick is non-nil it is called per step with the estimated match
+// fraction and the layer, and may set a backend override on the step.
+func estimateStepsLocked(plan *Plan, store *spatialdb.Store, paramBox []bbox.Box, pick func(sp *StepBoxPlan, l *spatialdb.Layer, frac float64)) (float64, []float64) {
+	k := store.K()
+	envBox := append([]bbox.Box(nil), paramBox...)
+	fracs := make([]float64, len(plan.Steps))
+	cost, width := 0.0, 1.0
+	for i := range plan.Steps {
+		sp := &plan.Steps[i]
+		l, ok := store.LayerIfExists(sp.Layer)
+		if !ok {
+			return math.Inf(1), fracs
+		}
+		ds := l.DataStats()
+		count := float64(ds.Count())
+		spec, satisfiable := sp.Spec(k, envBox)
+		if !satisfiable {
+			return cost, fracs // statically dead prefix: deeper steps never run
+		}
+		est := ds.EstimateSpec(spec)
+		if count > 0 {
+			fracs[i] = est / count
+		}
+		if pick != nil {
+			pick(sp, l, fracs[i])
+		}
+		if est == 0 {
+			return cost, fracs // estimated dead end: deeper steps cost ~nothing
+		}
+		width *= est
+		cost += width
+
+		// Representative box for this variable at deeper steps: the mean
+		// stored box, narrowed to the step's upper bound when they meet
+		// (survivors of the range query are contained in Upper).
+		rep := ds.MeanBox()
+		if !spec.Upper.IsEmpty() && !spec.Upper.IsUniv() {
+			if m := rep.Meet(spec.Upper); !m.IsEmpty() {
+				rep = m
+			} else {
+				rep = spec.Upper
+			}
+		}
+		envBox[sp.Var] = rep
+	}
+	return cost, fracs
+}
+
+// chooseBackends routes individual steps of the chosen plan to the index
+// backend the estimate favors, returning how many steps were overridden.
+// Overrides only ever select from the layer's live backends; an override
+// that turns out unavailable at run time falls back to the primary inside
+// the layer, so a stale choice degrades cost, never correctness.
+func chooseBackends(plan *Plan, store *spatialdb.Store, paramBox []bbox.Box) int {
+	overrides := 0
+	store.RLock()
+	defer store.RUnlock()
+	estimateStepsLocked(plan, store, paramBox, func(sp *StepBoxPlan, l *spatialdb.Layer, frac float64) {
+		if l.DataStats().Count() == 0 {
+			return
+		}
+		primary := l.Kind()
+		choice := primary
+		if primary != spatialdb.Scan && frac >= scanFraction {
+			choice = spatialdb.Scan
+		} else if primary == spatialdb.Scan && frac <= altFraction {
+			for _, kind := range l.AvailableKinds() {
+				if kind != spatialdb.Scan {
+					choice = kind
+					break
+				}
+			}
+		}
+		if choice != primary {
+			sp.Backend = choice
+			sp.HasBackend = true
+			overrides++
+		}
+	})
+	return overrides
+}

@@ -1,0 +1,346 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+// Regression: SuggestOrder used to plan a missing layer as size 0, the
+// most attractive size possible, silently front-loading a step that can
+// only fail. It must rank as infinitely large instead.
+func TestSuggestOrderMissingLayerNotAttractive(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 100, 100), spatialdb.RTree)
+	store.MustInsert("towns", "a", region.FromBoxes(2, bbox.Rect(1, 1, 2, 2)))
+	store.MustInsert("towns", "b", region.FromBoxes(2, bbox.Rect(5, 5, 6, 6)))
+
+	q := New()
+	c := q.Sys.Var("C")
+	x := q.Sys.Var("x")
+	y := q.Sys.Var("y")
+	q.Sys.Subset(x, c)
+	q.Sys.Subset(y, c)
+	q.From("x", "towns").From("y", "ghost")
+
+	got := SuggestOrder(q, store)
+	if got.Retrieve[0].Layer != "towns" {
+		t.Fatalf("missing layer %q ordered before existing %q: %v",
+			"ghost", "towns", got.Retrieve)
+	}
+}
+
+// solutionSet renders a result's solutions as an order- and
+// tuple-position-insensitive multiset: each tuple keyed by variable name.
+func solutionSet(bindings []Binding, sols []Solution) map[string]int {
+	set := map[string]int{}
+	for _, s := range sols {
+		pairs := map[string]int64{}
+		for i, o := range s.Objects {
+			pairs[bindings[i].Var] = o.ID
+		}
+		key := ""
+		for _, v := range []string{"T", "R", "B"} {
+			if id, ok := pairs[v]; ok {
+				key += fmt.Sprintf("%s=%d;", v, id)
+			}
+		}
+		set[key]++
+	}
+	return set
+}
+
+// The adaptive plan must return exactly the solutions the naive executor
+// and the statically ordered plan return, whatever order it picked.
+func TestCompileAdaptiveResultsMatchNaiveAndStatic(t *testing.T) {
+	store, params := smugglerFixture(t, spatialdb.RTree, workload.MapConfig{Seed: 7})
+	q := Smuggler()
+
+	naive, err := RunNaive(q, store, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticPlan, err := Compile(SuggestOrder(q, store), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticRes, err := staticPlan.Run(store, params, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := CompileAdaptive(q, store, AdaptiveOptions{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Adaptive == nil {
+		t.Fatal("adaptive plan carries no AdaptiveInfo")
+	}
+	adaptiveRes, err := adaptive.Run(store, params, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := solutionSet(q.Retrieve, naive.Solutions)
+	if got := solutionSet(staticPlan.Bindings(), staticRes.Solutions); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("static plan solutions = %v, naive = %v", got, want)
+	}
+	if got := solutionSet(adaptive.Bindings(), adaptiveRes.Solutions); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("adaptive plan (order %s) solutions = %v, naive = %v",
+			adaptive.OrderKey(), got, want)
+	}
+	// Adaptive output tuples keep the caller's binding order: Bindings()
+	// must equal the original query's, whatever order executed.
+	for i, b := range adaptive.Bindings() {
+		if b.Var != q.Retrieve[i].Var {
+			t.Fatalf("Bindings()[%d] = %s, want %s", i, b.Var, q.Retrieve[i].Var)
+		}
+	}
+}
+
+// The histogram-costed order must avoid the worst permutation cold, and
+// converge on the measured-best order once the tuner has seen each order
+// run — the self-tuning loop repeated queries go through.
+func TestCompileAdaptiveOrderNearBestAndConverges(t *testing.T) {
+	store, params := smugglerFixture(t, spatialdb.RTree, workload.MapConfig{Seed: 42})
+	base := Smuggler()
+
+	tuner := NewTuner(8)
+	epoch := store.Epoch()
+	best, worst, bestOrder := -1, -1, ""
+	for _, p := range permutations(3) {
+		q := &Query{Sys: base.Sys}
+		for _, i := range p {
+			q.Retrieve = append(q.Retrieve, base.Retrieve[i])
+		}
+		res, err := CompileAndRun(q, store, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuner.Observe("smuggler", orderKey(q), epoch, res.Stats)
+		if best < 0 || res.Stats.Candidates < best {
+			best, bestOrder = res.Stats.Candidates, orderKey(q)
+		}
+		if res.Stats.Candidates > worst {
+			worst = res.Stats.Candidates
+		}
+	}
+
+	// Cold: histogram estimates alone. Deep-step estimates are approximate
+	// (independence across axes, one representative box per bound
+	// variable), so the cold choice need not be optimal — but it must not
+	// be the worst order.
+	cold, err := CompileAdaptive(base, store, AdaptiveOptions{Params: params, NoBackendPick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cold.Run(store, params, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Candidates >= worst {
+		t.Errorf("cold adaptive order %s examines %d candidates; worst is %d",
+			cold.OrderKey(), res.Stats.Candidates, worst)
+	}
+
+	// Warm: with every order observed once, the planner must pick the
+	// measured best.
+	warm, err := CompileAdaptive(base, store, AdaptiveOptions{
+		Params: params, Tuner: tuner, TunerKey: "smuggler", Epoch: epoch, NoBackendPick: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.OrderKey() != bestOrder {
+		t.Errorf("warm adaptive chose %s; measured best is %s (%d candidates)",
+			warm.OrderKey(), bestOrder, best)
+	}
+	wres, err := warm.Run(store, params, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Stats.Candidates != best {
+		t.Errorf("warm adaptive examines %d candidates; best is %d", wres.Stats.Candidates, best)
+	}
+}
+
+// A fresh Tuner observation overrides the histogram estimate; a stale one
+// (too many epochs old) is ignored.
+func TestTunerFeedbackOverridesEstimate(t *testing.T) {
+	store, params := smugglerFixture(t, spatialdb.RTree, workload.MapConfig{Seed: 7})
+	q := Smuggler()
+
+	baseline, err := CompileAdaptive(q, store, AdaptiveOptions{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim some other order ran essentially for free.
+	other := "B→R→T"
+	if baseline.OrderKey() == other {
+		other = "R→B→T"
+	}
+	tuner := NewTuner(8)
+	epoch := store.Epoch()
+	tuner.Observe("q1", other, epoch, Stats{Candidates: 1, Solutions: 1})
+
+	opts := AdaptiveOptions{Params: params, Tuner: tuner, TunerKey: "q1", Epoch: epoch}
+	plan, err := CompileAdaptive(q, store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.OrderKey() != other {
+		t.Errorf("fresh observation ignored: chose %s, observed-cheap order is %s",
+			plan.OrderKey(), other)
+	}
+	if plan.Adaptive.FeedbackUsed == 0 {
+		t.Error("AdaptiveInfo.FeedbackUsed = 0 with a fresh observation in play")
+	}
+
+	// Same observation judged from far in the future: stale, back to the
+	// histogram choice.
+	opts.Epoch = epoch + DefaultStaleEpochs + 1
+	plan, err = CompileAdaptive(q, store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.OrderKey() != baseline.OrderKey() {
+		t.Errorf("stale observation still steered the plan: chose %s, baseline %s",
+			plan.OrderKey(), baseline.OrderKey())
+	}
+}
+
+func TestTunerSkipsPartialRunsAndEvicts(t *testing.T) {
+	tuner := NewTuner(2)
+	tuner.Observe("a", "x→y", 1, Stats{Candidates: 10, Truncated: true})
+	tuner.Observe("a", "x→y", 1, Stats{Candidates: 10, Cancelled: true})
+	tuner.Observe("a", "x→y", 1, Stats{Candidates: 10, GroundFailed: true})
+	if tuner.Len() != 0 {
+		t.Fatalf("partial runs recorded: Len = %d", tuner.Len())
+	}
+	tuner.Observe("a", "x→y", 1, Stats{Candidates: 10})
+	tuner.Observe("b", "x→y", 1, Stats{Candidates: 10})
+	tuner.Observe("c", "x→y", 1, Stats{Candidates: 10})
+	if tuner.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (FIFO capacity)", tuner.Len())
+	}
+	if tuner.Lookup("a") != nil {
+		t.Error("oldest key not evicted")
+	}
+	if tuner.Lookup("c") == nil {
+		t.Error("newest key missing")
+	}
+}
+
+// Backend overrides: a highly selective step on a scan-primary layer is
+// routed to a structured alternate; an unselective step on an indexed
+// layer is routed to the scan.
+func TestCompileAdaptiveBackendOverrides(t *testing.T) {
+	uni := bbox.Rect(0, 0, 1000, 1000)
+
+	mkQuery := func() (*Query, map[string]*region.Region, *region.Region) {
+		q := New()
+		c := q.Sys.Var("C")
+		x := q.Sys.Var("x")
+		q.Sys.Subset(x, c)
+		q.From("x", "towns")
+		_ = c
+		tiny := region.FromBoxes(2, bbox.Rect(0, 0, 30, 30))
+		return q, map[string]*region.Region{"C": tiny}, tiny
+	}
+
+	t.Run("scan primary gets structured alt", func(t *testing.T) {
+		store := spatialdb.NewStore(uni, spatialdb.Scan)
+		store.EnableAltIndexes(spatialdb.RTree)
+		for i := 0; i < 200; i++ {
+			x := float64(i * 5)
+			store.MustInsert("towns", "t", region.FromBoxes(2, bbox.Rect(x, x, x+3, x+3)))
+		}
+		q, params, _ := mkQuery()
+		plan, err := CompileAdaptive(q, store, AdaptiveOptions{Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := plan.Steps[0]
+		if !sp.HasBackend || sp.Backend != spatialdb.RTree {
+			t.Fatalf("selective scan-primary step: HasBackend=%v Backend=%v, want RTree override",
+				sp.HasBackend, sp.Backend)
+		}
+		if plan.Adaptive.BackendOverrides != 1 {
+			t.Errorf("BackendOverrides = %d, want 1", plan.Adaptive.BackendOverrides)
+		}
+		// The override changes cost only, never the result set.
+		res, err := plan.Run(store, params, DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := RunNaive(q, store, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Solutions != naive.Stats.Solutions {
+			t.Errorf("override changed solutions: %d vs naive %d",
+				res.Stats.Solutions, naive.Stats.Solutions)
+		}
+	})
+
+	t.Run("unselective indexed step gets scan", func(t *testing.T) {
+		store := spatialdb.NewStore(uni, spatialdb.RTree)
+		for i := 0; i < 50; i++ {
+			x := float64(i % 10)
+			store.MustInsert("towns", "t", region.FromBoxes(2, bbox.Rect(x, x, x+2, x+2)))
+		}
+		q := New()
+		c := q.Sys.Var("C")
+		x := q.Sys.Var("x")
+		q.Sys.Subset(x, c)
+		q.From("x", "towns")
+		params := map[string]*region.Region{"C": region.FromBoxes(2, uni)}
+		plan, err := CompileAdaptive(q, store, AdaptiveOptions{Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := plan.Steps[0]
+		if !sp.HasBackend || sp.Backend != spatialdb.Scan {
+			t.Fatalf("unselective indexed step: HasBackend=%v Backend=%v, want Scan override",
+				sp.HasBackend, sp.Backend)
+		}
+	})
+
+	t.Run("NoBackendPick leaves primaries", func(t *testing.T) {
+		store := spatialdb.NewStore(uni, spatialdb.Scan)
+		store.EnableAltIndexes(spatialdb.RTree)
+		for i := 0; i < 200; i++ {
+			x := float64(i * 5)
+			store.MustInsert("towns", "t", region.FromBoxes(2, bbox.Rect(x, x, x+3, x+3)))
+		}
+		q, params, _ := mkQuery()
+		plan, err := CompileAdaptive(q, store, AdaptiveOptions{Params: params, NoBackendPick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sp := range plan.Steps {
+			if sp.HasBackend {
+				t.Fatalf("step %d has a backend override with NoBackendPick set", i)
+			}
+		}
+	})
+}
+
+// CompileAdaptive surfaces the same compile errors Compile does.
+func TestCompileAdaptiveErrors(t *testing.T) {
+	store := spatialdb.NewStore(bbox.Rect(0, 0, 100, 100), spatialdb.RTree)
+	q := New()
+	c := q.Sys.Var("C")
+	x := q.Sys.Var("x")
+	q.Sys.Subset(x, c)
+	q.From("x", "nowhere")
+	if _, err := CompileAdaptive(q, store, AdaptiveOptions{}); err == nil {
+		t.Fatal("missing layer compiled without error")
+	}
+	empty := New()
+	if _, err := CompileAdaptive(empty, store, AdaptiveOptions{}); err == nil {
+		t.Fatal("query without retrieval variables compiled without error")
+	}
+}

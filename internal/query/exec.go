@@ -123,7 +123,7 @@ func (f *execFrame) run(i int) {
 		if f.opts.UseExact {
 			exact = step.Values(f.alg, f.env)
 		}
-		f.stats.DB.Add(f.layers[i].SearchStats(spec, consider))
+		f.stats.DB.Add(sp.search(f.layers[i], spec, consider))
 	} else {
 		if f.opts.UseExact {
 			exact = step.Values(f.alg, f.env)
@@ -151,6 +151,11 @@ func (f *execFrame) final() {
 	}
 	f.stats.Solutions++
 	objs := append([]spatialdb.Object(nil), f.tuple...)
+	if f.p.outPos != nil {
+		for i, o := range f.tuple {
+			objs[f.p.outPos[i]] = o
+		}
+	}
 	if !f.emit(Solution{Objects: objs}) {
 		f.stopped = true
 	}

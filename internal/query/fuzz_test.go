@@ -2,6 +2,9 @@ package query
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/bbox"
@@ -107,6 +110,151 @@ func TestFuzzOptimizedAgainstNaive(t *testing.T) {
 					q.Sys, plan.Explain())
 			}
 		}
+	}
+}
+
+// TestFuzzAdaptiveAgainstNaive extends the differential fuzz to the
+// adaptive pipeline: whatever order and backends CompileAdaptive picks,
+// the solutions must equal the naive cross product's, and the selectivity
+// estimates it is built on must be finite, non-negative and bounded by
+// the layer population — including on empty layers, empty and degenerate
+// boxes, and randomly shaped specs.
+func TestFuzzAdaptiveAgainstNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz test skipped in -short mode")
+	}
+	universe := bbox.Rect(0, 0, 64, 64)
+	for trial := 0; trial < 40; trial++ {
+		rng := workload.NewRNG(uint64(trial) + 9000)
+		q := randSystem(rng)
+
+		kind := []spatialdb.IndexKind{
+			spatialdb.Scan, spatialdb.RTree, spatialdb.PointRTree, spatialdb.Grid,
+		}[trial%4]
+		store := spatialdb.NewStore(universe, kind)
+		if trial%4 == 0 {
+			store.EnableAltIndexes(spatialdb.RTree, spatialdb.Grid)
+		}
+		// xs is sometimes left empty: estimation and execution must both
+		// handle a zero-population layer.
+		nx := 6
+		if trial%5 == 0 {
+			nx = 0
+			store.Layer("xs") // exists, holds nothing
+		}
+		for i := 0; i < nx; i++ {
+			store.MustInsert("xs", fmt.Sprintf("x%d", i), workload.RandRegion(rng, universe, 2))
+		}
+		for i := 0; i < 6; i++ {
+			store.MustInsert("ys", fmt.Sprintf("y%d", i), workload.RandRegion(rng, universe, 2))
+		}
+		params := map[string]*region.Region{"C": workload.RandRegion(rng, universe, 2)}
+
+		naive, err := RunNaive(q, store, params)
+		if err != nil {
+			t.Fatalf("trial %d: naive: %v", trial, err)
+		}
+		plan, err := CompileAdaptive(q, store, AdaptiveOptions{Params: params})
+		if err != nil {
+			t.Fatalf("trial %d: adaptive compile: %v\nsystem:\n%s", trial, err, q.Sys)
+		}
+		res, err := plan.Run(store, params, DefaultOptions)
+		if err != nil {
+			t.Fatalf("trial %d: adaptive run: %v", trial, err)
+		}
+		staticPlan, err := Compile(SuggestOrder(q, store), store)
+		if err != nil {
+			t.Fatalf("trial %d: static compile: %v\nsystem:\n%s", trial, err, q.Sys)
+		}
+		staticRes, err := staticPlan.Run(store, params, DefaultOptions)
+		if err != nil {
+			t.Fatalf("trial %d: static run: %v", trial, err)
+		}
+		want := canonSolutions(q.Retrieve, naive.Solutions)
+		if got := canonSolutions(plan.Bindings(), res.Solutions); !sameSolutionSet(got, want) {
+			t.Fatalf("trial %d (%v, order %s): adaptive solutions %v, naive %v\nsystem:\n%s\nplan:\n%s",
+				trial, kind, plan.OrderKey(), got, want, q.Sys, plan.Explain())
+		}
+		if got := canonSolutions(staticPlan.Bindings(), staticRes.Solutions); !sameSolutionSet(got, want) {
+			t.Fatalf("trial %d (%v): static plan solutions %v, naive %v\nsystem:\n%s",
+				trial, kind, got, want, q.Sys)
+		}
+
+		// Estimator invariants over the plan's own specs plus random ones.
+		cost, fracs := estimatePlanCost(plan, store, paramBoxes(plan.Query, store, params))
+		if math.IsNaN(cost) || cost < 0 {
+			t.Fatalf("trial %d: plan cost = %v", trial, cost)
+		}
+		for i, f := range fracs {
+			if math.IsNaN(f) || f < 0 || f > 1 {
+				t.Fatalf("trial %d: step %d match fraction = %v", trial, i, f)
+			}
+		}
+		for _, layer := range []string{"xs", "ys"} {
+			l, ok := store.LayerIfExists(layer)
+			if !ok {
+				continue
+			}
+			ds := l.DataStats()
+			for probe := 0; probe < 20; probe++ {
+				spec := bbox.RangeSpec{K: 2, Lower: randFuzzBox(rng, universe), Upper: randFuzzBox(rng, universe)}
+				if probe%3 == 0 {
+					spec.Overlaps = append(spec.Overlaps, randFuzzBox(rng, universe))
+				}
+				est := ds.EstimateSpec(spec)
+				if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 || est > float64(ds.Count()) {
+					t.Fatalf("trial %d: layer %q estimate %v outside [0, %d] for spec %+v",
+						trial, layer, est, ds.Count(), spec)
+				}
+			}
+		}
+	}
+}
+
+// canonSolutions keys a solution list by sorted Var=object pairs — the
+// order-insensitive, binding-order-insensitive form the differential
+// checks compare. Bindings must be the plan's output bindings
+// (Plan.Bindings(), or Query.Retrieve for the naive executor).
+func canonSolutions(bindings []Binding, sols []Solution) map[string]int {
+	out := map[string]int{}
+	for _, s := range sols {
+		pairs := make([]string, len(s.Objects))
+		for i, o := range s.Objects {
+			pairs[i] = bindings[i].Var + "=" + o.Name
+		}
+		sort.Strings(pairs)
+		out[strings.Join(pairs, ",")]++
+	}
+	return out
+}
+
+func sameSolutionSet(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// randFuzzBox produces boxes biased toward the estimator's edge cases:
+// empty, degenerate (zero-width), universe-sized and ordinary random
+// boxes.
+func randFuzzBox(rng *workload.RNG, universe bbox.Box) bbox.Box {
+	switch rng.IntN(5) {
+	case 0:
+		return bbox.Empty(2)
+	case 1:
+		return universe
+	case 2:
+		x := float64(rng.IntN(64))
+		y := float64(rng.IntN(64))
+		return bbox.Rect(x, y, x, y) // degenerate point box
+	default:
+		return workload.RandRegion(rng, universe, 1).BoundingBox()
 	}
 }
 

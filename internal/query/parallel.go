@@ -110,7 +110,7 @@ func (p *Plan) RunParallelCtx(ctx context.Context, store *spatialdb.Store, param
 		if opts.UseExact {
 			exact = step.Values(alg, env)
 		}
-		firstStats.DB.Add(layers[0].SearchStats(spec, gather))
+		firstStats.DB.Add(sp.search(layers[0], spec, gather))
 	} else {
 		if opts.UseExact {
 			exact = step.Values(alg, env)

@@ -31,7 +31,24 @@ type StepBoxPlan struct {
 	Upper  *bbox.Func // approximates the solved upper bound t from above
 	Diseqs []DiseqBoxPlan
 
+	// Backend, when HasBackend is set, routes this step's range queries
+	// through a specific index backend instead of the layer's primary —
+	// the adaptive planner's per-step choice (CompileAdaptive). The
+	// backend changes only cost: an unavailable choice falls back to the
+	// primary inside the layer.
+	Backend    spatialdb.IndexKind
+	HasBackend bool
+
 	lower, upper *bbox.Program // compiled forms of Lower and Upper
+}
+
+// search issues the step's range query through the layer, honoring the
+// planner's backend override when present.
+func (sp *StepBoxPlan) search(l *spatialdb.Layer, spec bbox.RangeSpec, visit func(spatialdb.Object) bool) spatialdb.Stats {
+	if sp.HasBackend {
+		return l.SearchStatsKind(spec, sp.Backend, visit)
+	}
+	return l.SearchStats(spec, visit)
 }
 
 // compilePrograms lowers the step's function trees to programs; Compile
@@ -135,7 +152,35 @@ type Plan struct {
 	Query *Query
 	Form  *triangular.Form
 	Steps []StepBoxPlan
+
+	// Adaptive records how CompileAdaptive chose this plan (nil for plans
+	// from plain Compile).
+	Adaptive *AdaptiveInfo
+
+	// outPos maps step index → output tuple position. CompileAdaptive
+	// sets it so solutions keep the caller's original binding order even
+	// when execution runs the steps in another order; nil means identity.
+	outPos []int
 }
+
+// Bindings returns the retrieval bindings in output-tuple order: position
+// i of every Solution holds an object for Bindings()[i]. For plans from
+// Compile this is just Query.Retrieve; for adaptive plans it is the
+// original query's order, whatever order the steps execute in.
+func (p *Plan) Bindings() []Binding {
+	if p.outPos == nil {
+		return p.Query.Retrieve
+	}
+	out := make([]Binding, len(p.Query.Retrieve))
+	for i, b := range p.Query.Retrieve {
+		out[p.outPos[i]] = b
+	}
+	return out
+}
+
+// OrderKey renders the plan's retrieval order as "T→R→B" — the key the
+// feedback tuner files observed run costs under.
+func (p *Plan) OrderKey() string { return orderKey(p.Query) }
 
 // Compile runs the full §3+§4 pipeline on the query against the given
 // store's schema.

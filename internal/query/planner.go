@@ -1,6 +1,8 @@
 package query
 
 import (
+	"math"
+
 	"repro/internal/bbox"
 	"repro/internal/boolalg"
 	"repro/internal/region"
@@ -35,12 +37,18 @@ func SuggestOrder(q *Query, store *spatialdb.Store) *Query {
 	}
 
 	// Layer sizes, read once under the guard (and without store.Layer,
-	// which would create layers the query merely names).
+	// which would create layers the query merely names). A missing layer
+	// must plan as infinitely large, not zero: size 0 would make it
+	// maximally attractive to the greedy order, silently front-loading a
+	// step that can only fail. Compile rejects the query anyway; until
+	// then the order keeps the existing layers' ranking intact.
 	sizes := make([]int, len(q.Retrieve))
 	store.RLock()
 	for i, b := range q.Retrieve {
 		if l, ok := store.LayerIfExists(b.Layer); ok {
 			sizes[i] = l.Len()
+		} else {
+			sizes[i] = math.MaxInt
 		}
 	}
 	store.RUnlock()

@@ -186,6 +186,9 @@ type queryResponse struct {
 	ElapsedUS int64          `json:"elapsed_us"`
 	Stats     query.Stats    `json:"stats"`
 	Plan      string         `json:"plan,omitempty"`
+	// Order is the retrieval order the plan executed with ("T→R→B") —
+	// under adaptive planning it may differ from the query text's order.
+	Order string `json:"order,omitempty"`
 }
 
 // streamSolutionLine is one NDJSON line of a POST /query?stream=1
@@ -212,6 +215,7 @@ type statsResponse struct {
 	Epoch     uint64          `json:"epoch"`
 	Layers    map[string]int  `json:"layers"`
 	Cache     cacheStats      `json:"cache"`
+	Planner   plannerStats    `json:"planner"`
 	Queries   counterGroup    `json:"queries"`
 	Batch     batchStats      `json:"batch"`
 	Mutations mutationStats   `json:"mutations"`
@@ -221,6 +225,18 @@ type statsResponse struct {
 	// WAL is present only in durable mode (-data-dir): the write-ahead
 	// log's position, checkpoint and fsync counters.
 	WAL *wal.DBStats `json:"wal,omitempty"`
+}
+
+// plannerStats describes the adaptive planner's activity: how plans were
+// chosen on cache misses and how much run-cost feedback has accumulated.
+type plannerStats struct {
+	Mode             string `json:"mode"`              // "adaptive" or "static"
+	AdaptiveCompiles int64  `json:"adaptive_compiles"` // compiles through CompileAdaptive
+	Reordered        int64  `json:"reordered"`         // compiles that changed the retrieval order
+	FeedbackUsed     int64  `json:"feedback_used"`     // compiles ranked by observed run costs
+	BackendOverrides int64  `json:"backend_overrides"` // per-step index overrides issued
+	Observations     int64  `json:"observations"`      // completed runs recorded into the tuner
+	TunerKeys        int    `json:"tuner_keys"`        // distinct queries with feedback
 }
 
 type cacheStats struct {

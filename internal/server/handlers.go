@@ -264,11 +264,16 @@ func decodeParams(store *spatialdb.Store, req *queryRequest) (map[string]*region
 }
 
 // lookupPlan resolves the compiled plan for a normalized query through
-// the plan cache: hit ⇒ skip Parse/Compile entirely. The epoch was read
+// the plan cache: hit ⇒ skip Parse/Compile entirely. On a miss the plan
+// compiles adaptively by default — the retrieval order (and per-step
+// index backend) are picked from the layer statistics plus any run costs
+// the tuner has observed for this query — so the cached plan embeds
+// data-dependent choices; the cache already invalidates on every store
+// epoch, which bounds how stale those choices can get. The epoch was read
 // before the lookup; a mutation racing with this request at worst
 // recompiles on the next request, never serves wrong plans (compiled
 // plans are immutable and execution takes the store's read guard).
-func (s *Server) lookupPlan(store *spatialdb.Store, gen, epoch uint64, normalized string) (*query.Plan, bool, error) {
+func (s *Server) lookupPlan(store *spatialdb.Store, gen, epoch uint64, normalized string, params map[string]*region.Region) (*query.Plan, bool, error) {
 	plan, hit := s.cache.Get(normalized, gen, epoch)
 	if hit {
 		return plan, true, nil
@@ -277,12 +282,47 @@ func (s *Server) lookupPlan(store *spatialdb.Store, gen, epoch uint64, normalize
 	if err != nil {
 		return nil, false, err
 	}
-	if plan, err = query.Compile(q, store); err != nil {
-		return nil, false, err
+	if s.staticPlan {
+		if plan, err = query.Compile(q, store); err != nil {
+			return nil, false, err
+		}
+	} else {
+		plan, err = query.CompileAdaptive(q, store, query.AdaptiveOptions{
+			Params:   params,
+			Tuner:    s.tuner,
+			TunerKey: normalized,
+			Epoch:    epoch,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		s.metrics.PlanAdaptive.Add(1)
+		if info := plan.Adaptive; info != nil {
+			if info.Reordered {
+				s.metrics.PlanReordered.Add(1)
+			}
+			if info.FeedbackUsed > 0 {
+				s.metrics.PlanFeedback.Add(1)
+			}
+			s.metrics.PlanOverrides.Add(int64(info.BackendOverrides))
+		}
 	}
 	s.metrics.PlanCompiles.Add(1)
 	s.cache.Put(normalized, gen, epoch, plan)
 	return plan, false, nil
+}
+
+// observeRun feeds one finished optimized run's cost back to the tuner,
+// closing the adaptive loop: the next compile of this query at a new
+// epoch ranks its executed order by this measured cost instead of the
+// histogram estimate.
+func (s *Server) observeRun(normalized string, plan *query.Plan, epoch uint64, st query.Stats) {
+	if s.staticPlan || plan == nil {
+		return
+	}
+	if s.tuner.Observe(normalized, plan.OrderKey(), epoch, st) {
+		s.metrics.TunerObservations.Add(1)
+	}
 }
 
 // execQuery executes one request against a pinned (store, generation,
@@ -319,12 +359,13 @@ func (s *Server) execQuery(ctx context.Context, store *spatialdb.Store, gen, epo
 			return nil, http.StatusBadRequest, err
 		}
 	} else {
-		if plan, hit, err = s.lookupPlan(store, gen, epoch, normalized); err != nil {
+		if plan, hit, err = s.lookupPlan(store, gen, epoch, normalized, params); err != nil {
 			return nil, http.StatusBadRequest, err
 		}
 		if res, err = plan.RunParallelCtx(qctx, store, params, opts, s.clampWorkers(req.Workers)); err != nil {
 			return nil, http.StatusBadRequest, err
 		}
+		s.observeRun(normalized, plan, epoch, res.Stats)
 	}
 	s.countOutcome(qctx, res.Stats)
 	status := http.StatusOK
@@ -349,6 +390,9 @@ func buildQueryResponse(res *query.Result, plan *query.Plan, req *queryRequest,
 	}
 	for _, sol := range res.Solutions {
 		resp.Solutions = append(resp.Solutions, toSolutionJSON(sol))
+	}
+	if plan != nil {
+		resp.Order = plan.OrderKey()
 	}
 	if req.Explain && plan != nil {
 		resp.Plan = plan.Explain()
@@ -385,7 +429,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req *
 		fail(http.StatusBadRequest, err)
 		return
 	}
-	plan, hit, err := s.lookupPlan(store, gen, epoch, normalized)
+	plan, hit, err := s.lookupPlan(store, gen, epoch, normalized, params)
 	if err != nil {
 		fail(http.StatusBadRequest, err)
 		return
@@ -449,6 +493,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req *
 		}
 		return
 	}
+	s.observeRun(normalized, plan, epoch, stats)
 	s.countOutcome(qctx, stats)
 	if stats.Cancelled {
 		// Only effective when no solution line has been written yet; an
@@ -477,6 +522,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		st := s.durable.Stats()
 		walStats = &st
 	}
+	mode := "adaptive"
+	if s.staticPlan {
+		mode = "static"
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Epoch:  store.Epoch(),
 		Layers: layerSizes(store),
@@ -485,6 +534,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Misses:   s.cache.Misses(),
 			Entries:  s.cache.Len(),
 			Capacity: s.cache.Cap(),
+		},
+		Planner: plannerStats{
+			Mode:             mode,
+			AdaptiveCompiles: mt.PlanAdaptive.Value(),
+			Reordered:        mt.PlanReordered.Value(),
+			FeedbackUsed:     mt.PlanFeedback.Value(),
+			BackendOverrides: mt.PlanOverrides.Value(),
+			Observations:     mt.TunerObservations.Value(),
+			TunerKeys:        s.tuner.Len(),
 		},
 		Queries: counterGroup{
 			Total:     mt.QueriesTotal.Value(),

@@ -18,14 +18,24 @@ type Metrics struct {
 	QueryTimeouts  expvar.Int // runs stopped by their execution deadline
 	QueryCancelled expvar.Int // runs stopped by client disconnect/cancel
 	QueryTruncated expvar.Int // runs capped by their solution limit
-	Inserts        expvar.Int
-	Deletes        expvar.Int
-	SnapshotSaves  expvar.Int
-	SnapshotLoads  expvar.Int
-	BulkBatches    expvar.Int // POST /layers/{layer}/objects:bulk requests
-	BulkObjects    expvar.Int // objects inserted by bulk requests
-	BatchRequests  expvar.Int // POST /query/batch requests
-	BatchQueries   expvar.Int // individual queries run by batch requests
+	// Adaptive-planner counters: compiles that went through
+	// query.CompileAdaptive, how many changed the retrieval order, how
+	// many were ranked by tuner feedback rather than the histogram
+	// estimate alone, per-step backend overrides issued, and completed
+	// runs recorded into the tuner.
+	PlanAdaptive      expvar.Int
+	PlanReordered     expvar.Int
+	PlanFeedback      expvar.Int
+	PlanOverrides     expvar.Int
+	TunerObservations expvar.Int
+	Inserts           expvar.Int
+	Deletes           expvar.Int
+	SnapshotSaves     expvar.Int
+	SnapshotLoads     expvar.Int
+	BulkBatches       expvar.Int // POST /layers/{layer}/objects:bulk requests
+	BulkObjects       expvar.Int // objects inserted by bulk requests
+	BatchRequests     expvar.Int // POST /query/batch requests
+	BatchQueries      expvar.Int // individual queries run by batch requests
 }
 
 var publishOnce sync.Once
@@ -51,6 +61,12 @@ func (s *Server) expvarMap() *expvar.Map {
 	m.Set("bulk_objects", &mt.BulkObjects)
 	m.Set("batch_requests", &mt.BatchRequests)
 	m.Set("batch_queries", &mt.BatchQueries)
+	m.Set("plan_adaptive_compiles", &mt.PlanAdaptive)
+	m.Set("plan_reordered", &mt.PlanReordered)
+	m.Set("plan_feedback_used", &mt.PlanFeedback)
+	m.Set("plan_backend_overrides", &mt.PlanOverrides)
+	m.Set("tuner_observations", &mt.TunerObservations)
+	m.Set("tuner_keys", expvar.Func(func() any { return s.tuner.Len() }))
 	m.Set("plan_cache_hits", expvar.Func(func() any { return s.cache.Hits() }))
 	m.Set("plan_cache_misses", expvar.Func(func() any { return s.cache.Misses() }))
 	m.Set("plan_cache_entries", expvar.Func(func() any { return s.cache.Len() }))

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/spatialdb"
+	"repro/internal/workload"
+)
+
+// The adaptive planner's /stats section: compiles count, feedback
+// accumulates across runs, and a mutation-driven recompile ranks orders
+// by the observed cost.
+func TestAdaptivePlannerStatsAndFeedback(t *testing.T) {
+	s, m := newTestServer(t)
+	req := smugglerRequest(m)
+
+	var first queryResponse
+	if w := do(t, s, http.MethodPost, "/query", req, &first); w.Code != http.StatusOK {
+		t.Fatalf("query: status %d: %s", w.Code, w.Body.String())
+	}
+	if first.Order == "" {
+		t.Error("response carries no executed order")
+	}
+
+	var st statsResponse
+	do(t, s, http.MethodGet, "/stats", nil, &st)
+	if st.Planner.Mode != "adaptive" {
+		t.Fatalf("planner mode = %q, want adaptive", st.Planner.Mode)
+	}
+	if st.Planner.AdaptiveCompiles != 1 {
+		t.Errorf("adaptive_compiles = %d, want 1", st.Planner.AdaptiveCompiles)
+	}
+	if st.Planner.Observations != 1 || st.Planner.TunerKeys != 1 {
+		t.Errorf("observations = %d tuner_keys = %d, want 1/1",
+			st.Planner.Observations, st.Planner.TunerKeys)
+	}
+
+	// A mutation bumps the epoch → next query recompiles; the executed
+	// order now has a fresh observation, so the compile uses feedback.
+	obj := jsonRegion{Boxes: []jsonBox{{Lo: []float64{1, 1}, Hi: []float64{2, 2}}}}
+	if w := do(t, s, http.MethodPut, "/layers/decoys/objects/d1", obj, nil); w.Code != http.StatusCreated {
+		t.Fatalf("PUT: status %d: %s", w.Code, w.Body.String())
+	}
+	var second queryResponse
+	if w := do(t, s, http.MethodPost, "/query", req, &second); w.Code != http.StatusOK {
+		t.Fatalf("query 2: status %d: %s", w.Code, w.Body.String())
+	}
+	if second.Cached {
+		t.Error("second query served from cache despite the epoch bump")
+	}
+	do(t, s, http.MethodGet, "/stats", nil, &st)
+	if st.Planner.AdaptiveCompiles != 2 {
+		t.Errorf("adaptive_compiles = %d, want 2", st.Planner.AdaptiveCompiles)
+	}
+	if st.Planner.FeedbackUsed < 1 {
+		t.Errorf("feedback_used = %d, want ≥ 1", st.Planner.FeedbackUsed)
+	}
+
+	// Same solutions both times, whatever orders were picked.
+	a, b := solutionKeys(first.Solutions), solutionKeys(second.Solutions)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("solution drift across recompile: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("solution drift across recompile: %v vs %v", a, b)
+		}
+	}
+}
+
+// -plan static: no adaptive compiles, no feedback, identical results.
+func TestStaticPlanModeDisablesAdaptive(t *testing.T) {
+	m := workload.GenMap(workload.MapConfig{Seed: 1991})
+	store := spatialdb.NewStore(m.Config.Universe, spatialdb.RTree)
+	m.Populate(store)
+	s := New(store, Options{StaticPlan: true})
+
+	adaptiveSrv, _ := newTestServer(t)
+	req := smugglerRequest(m)
+
+	var static, adaptive queryResponse
+	if w := do(t, s, http.MethodPost, "/query", req, &static); w.Code != http.StatusOK {
+		t.Fatalf("static query: status %d: %s", w.Code, w.Body.String())
+	}
+	if w := do(t, adaptiveSrv, http.MethodPost, "/query", req, &adaptive); w.Code != http.StatusOK {
+		t.Fatalf("adaptive query: status %d: %s", w.Code, w.Body.String())
+	}
+	a, b := solutionKeys(static.Solutions), solutionKeys(adaptive.Solutions)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("static vs adaptive solutions: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("static vs adaptive solutions differ: %v vs %v", a, b)
+		}
+	}
+
+	var st statsResponse
+	do(t, s, http.MethodGet, "/stats", nil, &st)
+	if st.Planner.Mode != "static" {
+		t.Errorf("planner mode = %q, want static", st.Planner.Mode)
+	}
+	if st.Planner.AdaptiveCompiles != 0 || st.Planner.Observations != 0 {
+		t.Errorf("static mode recorded adaptive activity: %+v", st.Planner)
+	}
+	if st.Queries.Compiles != 1 {
+		t.Errorf("plan compiles = %d, want 1", st.Queries.Compiles)
+	}
+}

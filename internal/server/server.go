@@ -58,6 +58,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/query"
 	"repro/internal/spatialdb"
 	"repro/internal/wal"
 )
@@ -85,6 +86,14 @@ type Options struct {
 	// store would disconnect it from the write-ahead log). The store
 	// passed to New must be Durable.Store().
 	Durable *wal.DB
+	// StaticPlan disables statistics-driven adaptive planning: plans
+	// compile in the query's own retrieval order with no backend
+	// overrides and no feedback, as before PR 7. Exposed as boolqd's
+	// -plan flag for A/B comparisons.
+	StaticPlan bool
+	// TunerSize caps how many distinct queries the feedback tuner tracks
+	// (≤ 0 means the query package default).
+	TunerSize int
 }
 
 // Server is the boolqd HTTP service over one spatial store.
@@ -99,6 +108,8 @@ type Server struct {
 	batchWorkers int
 	queryTimeout time.Duration
 	durable      *wal.DB // nil unless running over a WAL data dir
+	staticPlan   bool
+	tuner        *query.Tuner // run-cost feedback for the adaptive planner
 	mux          *http.ServeMux
 }
 
@@ -120,6 +131,8 @@ func New(store *spatialdb.Store, opts Options) *Server {
 		batchWorkers: bw,
 		queryTimeout: qt,
 		durable:      opts.Durable,
+		staticPlan:   opts.StaticPlan,
+		tuner:        query.NewTuner(opts.TunerSize),
 	}
 	s.vars = s.expvarMap()
 	publishOnce.Do(func() { expvar.Publish("boolqd", s.vars) })

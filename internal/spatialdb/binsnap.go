@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bbox"
 	"repro/internal/region"
+	"repro/internal/stats"
 )
 
 // The compact binary snapshot format — the production counterpart of the
@@ -21,7 +22,7 @@ import (
 // little-endian or uvarint, floats as IEEE-754 bit patterns):
 //
 //	magic    "BQSN"                      4 bytes
-//	version  uint16                      currently 1
+//	version  uint16                      currently 2
 //	k        uint16                      dimensionality
 //	nextID   uint64                      highest object id handed out
 //	universe 2·k float64                 lo then hi
@@ -31,14 +32,20 @@ import (
 //	    id     uvarint
 //	    name   string
 //	    boxes  uvarint count, 2·k float64 each (lo then hi)
+//	  stats   uvarint len + stats.Snapshot binary blob   (v2 only)
 //	crc32    uint32 (IEEE) of every preceding byte
 //
 // Indexes are derived state and are rebuilt on load through the packed
 // bulk path, so binary snapshots are portable across index backends.
+// Version 2 adds the per-layer planner statistics; version 1 snapshots
+// (no stats blob) still load, with statistics recomputed from the
+// objects. As in the JSON codec, a recorded block whose geometry no
+// longer matches the current parameters is ignored in favor of the
+// recomputed one.
 
 var binSnapMagic = [4]byte{'B', 'Q', 'S', 'N'}
 
-const binSnapVersion = 1
+const binSnapVersion = 2
 
 // SaveBinary writes the store as a binary snapshot under the store's
 // read guard, so it captures a consistent state even while writers are
@@ -106,6 +113,12 @@ func (s *Store) SaveBinaryMark(w io.Writer, mark func()) error {
 				writeFloats(b.Hi)
 			}
 		}
+		blob, err := l.data.Snapshot().MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("spatialdb: encoding layer %q statistics: %w", name, err)
+		}
+		writeUvarint(uint64(len(blob)))
+		bw.Write(blob)
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("spatialdb: writing binary snapshot: %w", err)
@@ -147,7 +160,7 @@ func LoadBinary(r io.Reader, kind IndexKind) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != binSnapVersion {
+	if version < 1 || version > binSnapVersion {
 		return nil, fmt.Errorf("spatialdb: binary snapshot: unsupported version %d", version)
 	}
 	k16, err := d.u16()
@@ -236,6 +249,21 @@ func LoadBinary(r io.Reader, kind IndexKind) (*Store, error) {
 		}
 		if err := store.restoreLayer(name, objs); err != nil {
 			return nil, fmt.Errorf("spatialdb: binary snapshot: layer %q: %w", name, err)
+		}
+		if version >= 2 {
+			blobLen, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if blobLen > uint64(len(d.buf)) {
+				return nil, fmt.Errorf("spatialdb: binary snapshot: impossible stats length %d", blobLen)
+			}
+			var snap stats.Snapshot
+			if err := snap.UnmarshalBinary(d.buf[:blobLen]); err != nil {
+				return nil, fmt.Errorf("spatialdb: binary snapshot: layer %q statistics: %w", name, err)
+			}
+			d.buf = d.buf[blobLen:]
+			store.restoreLayerStats(name, snap)
 		}
 	}
 	if len(d.buf) != 0 {

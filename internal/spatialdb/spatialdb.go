@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/bbox"
 	"repro/internal/region"
+	"repro/internal/stats"
 )
 
 // IndexKind selects a layer's index backend.
@@ -105,15 +106,34 @@ type Layer struct {
 	byName   map[string]int64 // latest object id per name, for CRUD by name
 	order    []int64          // insertion order, for deterministic scans
 	idx      layerIndex       // the backend behind kind; see index.go
+	data     *stats.Layer     // planner statistics, maintained by commit/remove
+
+	// alts holds optional alternate index backends (EnableAltIndexes) kept
+	// live alongside the primary so the adaptive planner can route a range
+	// query per step. Alternates are best-effort: one that rejects an
+	// object the primary accepted is dropped, never failing the mutation.
+	// Scan never appears here — it reads the object table directly and is
+	// always available.
+	alts map[IndexKind]layerIndex
 
 	mu    sync.Mutex // guards stats: Search may run concurrently
 	stats Stats
 }
 
-func newLayer(name string, k int, kind IndexKind, universe bbox.Box) *Layer {
+func newLayer(name string, k int, kind IndexKind, universe bbox.Box, altKinds []IndexKind) *Layer {
 	l := &Layer{name: name, kind: kind, k: k, universe: universe,
-		objs: map[int64]Object{}, byName: map[string]int64{}}
+		objs: map[int64]Object{}, byName: map[string]int64{},
+		data: stats.NewLayer(universe)}
 	l.resetIndex()
+	for _, ak := range altKinds {
+		if ak == l.kind || ak == Scan {
+			continue
+		}
+		if l.alts == nil {
+			l.alts = map[IndexKind]layerIndex{}
+		}
+		l.alts[ak] = newLayerIndexKind(l, ak)
+	}
 	return l
 }
 
@@ -124,13 +144,15 @@ func (l *Layer) resetIndex() {
 
 // rebuildIndex recreates the index from the surviving objects in
 // insertion order, through the backend's packed bulk path when it has
-// one.
+// one. Alternate indexes are rebuilt alongside (best-effort: a failing
+// alternate is dropped).
 func (l *Layer) rebuildIndex() error {
 	l.resetIndex()
 	objs := make([]Object, 0, len(l.order))
 	for _, id := range l.order {
 		objs = append(objs, l.objs[id])
 	}
+	l.rebuildAlts(objs)
 	if bl, ok := l.idx.(BulkLoader); ok {
 		if err := bl.BulkLoad(objs); err == nil {
 			return nil
@@ -145,6 +167,31 @@ func (l *Layer) rebuildIndex() error {
 	return nil
 }
 
+// rebuildAlts recreates every alternate index from objs, dropping any
+// alternate that rejects an object. The caller must hold the store's
+// write lock.
+func (l *Layer) rebuildAlts(objs []Object) {
+	for kind := range l.alts {
+		ix := newLayerIndexKind(l, kind)
+		ok := true
+		if bl, isBulk := ix.(BulkLoader); isBulk {
+			ok = bl.BulkLoad(objs) == nil
+		} else {
+			for _, o := range objs {
+				if ix.insert(o) != nil {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			l.alts[kind] = ix
+		} else {
+			delete(l.alts, kind)
+		}
+	}
+}
+
 // Name returns the layer name.
 func (l *Layer) Name() string { return l.name }
 
@@ -153,6 +200,28 @@ func (l *Layer) Kind() IndexKind { return l.kind }
 
 // Len returns the number of stored objects.
 func (l *Layer) Len() int { return len(l.objs) }
+
+// DataStats returns the layer's planner statistics (counts, per-axis
+// edge histograms, grid occupancy). The returned object is the live one,
+// mutated under the store's write lock; readers must hold the store's
+// read guard, exactly as for Search.
+func (l *Layer) DataStats() *stats.Layer { return l.data }
+
+// AvailableKinds returns the index backends this layer can serve a range
+// query from: the primary, the always-available scan path, and any live
+// alternates, in that order.
+func (l *Layer) AvailableKinds() []IndexKind {
+	kinds := []IndexKind{l.kind}
+	if l.kind != Scan {
+		kinds = append(kinds, Scan)
+	}
+	for k := Scan; k <= ZOrderIdx; k++ {
+		if _, ok := l.alts[k]; ok {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
+}
 
 // Stats returns the accumulated cost counters.
 func (l *Layer) Stats() Stats {
@@ -184,11 +253,22 @@ func (l *Layer) insert(o Object) error {
 }
 
 // commit records an object in the lookup maps after the index accepted
-// it.
+// it. Every path that adds an object — Insert, Upsert, BulkInsert (both
+// the packed and looped variants), snapshot restore and WAL replay —
+// funnels through here, so the planner statistics and the alternate
+// indexes stay consistent with the primary without per-path hooks. An
+// alternate that rejects the object is dropped (the primary already
+// accepted it; the mutation must not fail).
 func (l *Layer) commit(o Object) {
 	l.objs[o.ID] = o
 	l.byName[o.Name] = o.ID
 	l.order = append(l.order, o.ID)
+	l.data.Add(o.Box)
+	for kind, ix := range l.alts {
+		if ix.insert(o) != nil {
+			delete(l.alts, kind)
+		}
+	}
 }
 
 // remove deletes an object by id and rebuilds the index from the
@@ -200,6 +280,7 @@ func (l *Layer) remove(id int64) error {
 		return fmt.Errorf("spatialdb: no object with id %d in layer %q", id, l.name)
 	}
 	delete(l.objs, id)
+	l.data.Remove(o.Box)
 	for i, oid := range l.order {
 		if oid == id {
 			l.order = append(l.order[:i], l.order[i+1:]...)
@@ -268,8 +349,30 @@ func (l *Layer) Search(spec bbox.RangeSpec, visit func(Object) bool) {
 // runs share a layer concurrently — a shared-counter delta would mix
 // their costs.
 func (l *Layer) SearchStats(spec bbox.RangeSpec, visit func(Object) bool) Stats {
+	return l.searchVia(l.idx, spec, visit)
+}
+
+// SearchStatsKind is SearchStats through a chosen backend: the primary,
+// the always-available scan path, or a live alternate (EnableAltIndexes).
+// An unavailable kind falls back to the primary — the choice can change
+// only cost, never the result set.
+func (l *Layer) SearchStatsKind(spec bbox.RangeSpec, kind IndexKind, visit func(Object) bool) Stats {
+	ix := l.idx
+	switch {
+	case kind == l.kind:
+	case kind == Scan:
+		ix = scanIndex{l: l}
+	default:
+		if alt, ok := l.alts[kind]; ok {
+			ix = alt
+		}
+	}
+	return l.searchVia(ix, spec, visit)
+}
+
+func (l *Layer) searchVia(ix layerIndex, spec bbox.RangeSpec, visit func(Object) bool) Stats {
 	var ids []int64
-	touched, scanned := l.idx.search(spec, func(id int64) { ids = append(ids, id) })
+	touched, scanned := ix.search(spec, func(id int64) { ids = append(ids, id) })
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	// Defense in depth: every backend must return exact matches; the
 	// filter also protects against floating-point edge cases in the point
@@ -310,11 +413,12 @@ type Store struct {
 	universe bbox.Box
 	kind     IndexKind
 
-	mu     sync.RWMutex // guards layers, names, nextID, sink
-	epoch  atomic.Uint64
-	layers map[string]*Layer
-	names  []string
-	nextID int64
+	mu       sync.RWMutex // guards layers, names, nextID, sink
+	epoch    atomic.Uint64
+	layers   map[string]*Layer
+	names    []string
+	nextID   int64
+	altKinds []IndexKind // alternate backends new layers are created with
 
 	// sink, when set, receives every mutation inside the critical section
 	// that applied it — the durable write path's hook point (mutlog.go).
@@ -413,11 +517,55 @@ func (s *Store) LayerNames() []string {
 func (s *Store) ensureLayerLocked(name string) *Layer {
 	l, ok := s.layers[name]
 	if !ok {
-		l = newLayer(name, s.universe.K, s.kind, s.universe)
+		l = newLayer(name, s.universe.K, s.kind, s.universe, s.altKinds)
 		s.layers[name] = l
 		s.names = append(s.names, name)
 	}
 	return l
+}
+
+// EnableAltIndexes keeps the given backends live alongside every layer's
+// primary index, so the adaptive planner can pick the cheapest backend
+// per retrieval step. Existing layers build their alternates now; layers
+// created later get them at creation. Alternates are best-effort — one
+// that cannot hold a layer's objects is silently dropped for that layer
+// (the scan path needs no structure and is always available without
+// being enabled here). The epoch is bumped so cached plans re-plan
+// against the new backend set.
+func (s *Store) EnableAltIndexes(kinds ...IndexKind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range kinds {
+		if k == Scan || containsKind(s.altKinds, k) {
+			continue
+		}
+		s.altKinds = append(s.altKinds, k)
+	}
+	for _, name := range s.names {
+		l := s.layers[name]
+		for _, k := range s.altKinds {
+			if k == l.kind {
+				continue
+			}
+			if l.alts == nil {
+				l.alts = map[IndexKind]layerIndex{}
+			}
+			if _, ok := l.alts[k]; !ok {
+				l.alts[k] = newLayerIndexKind(l, k)
+			}
+		}
+		l.rebuildAlts(l.Objects())
+	}
+	s.epoch.Add(1)
+}
+
+func containsKind(ks []IndexKind, k IndexKind) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
 }
 
 // Insert adds a named region to a layer and returns its object. It is

@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Snapshot is the serialized form of a Layer, shared by the JSON
+// snapshot (as a plain struct) and the binary snapshot (via
+// MarshalBinary/UnmarshalBinary). Loaders install a recorded snapshot
+// only when its geometry matches what the current build would produce
+// (same spans, bucket counts and grid shape); otherwise the recomputed
+// statistics win, which keeps snapshot files forward-compatible across
+// parameter changes.
+type Snapshot struct {
+	K     int            `json:"k"`
+	Count uint64         `json:"count"`
+	Axes  []AxisSnapshot `json:"axes,omitempty"`
+	Grid  *GridSnapshot  `json:"grid,omitempty"`
+}
+
+// AxisSnapshot mirrors Axis.
+type AxisSnapshot struct {
+	Lo    HistogramSnapshot `json:"lo"`
+	Hi    HistogramSnapshot `json:"hi"`
+	SumLo float64           `json:"sum_lo"`
+	SumHi float64           `json:"sum_hi"`
+}
+
+// HistogramSnapshot mirrors Histogram.
+type HistogramSnapshot struct {
+	Lo     float64  `json:"lo"`
+	Hi     float64  `json:"hi"`
+	N      uint64   `json:"n"`
+	Counts []uint64 `json:"counts"`
+}
+
+// GridSnapshot mirrors Grid.
+type GridSnapshot struct {
+	Axes   int       `json:"axes"`
+	Side   int       `json:"side"`
+	Lo     []float64 `json:"lo"`
+	Width  []float64 `json:"width"`
+	Counts []uint32  `json:"counts"`
+}
+
+// Snapshot returns the serializable form of s.
+func (s *Layer) Snapshot() Snapshot {
+	snap := Snapshot{K: s.k, Count: s.count, Axes: make([]AxisSnapshot, len(s.axes))}
+	for a := range s.axes {
+		snap.Axes[a] = AxisSnapshot{
+			Lo:    histSnap(&s.axes[a].Lo),
+			Hi:    histSnap(&s.axes[a].Hi),
+			SumLo: s.axes[a].SumLo,
+			SumHi: s.axes[a].SumHi,
+		}
+	}
+	if s.grid.Axes > 0 {
+		g := s.grid
+		snap.Grid = &GridSnapshot{
+			Axes:   g.Axes,
+			Side:   g.Side,
+			Lo:     append([]float64(nil), g.Lo...),
+			Width:  append([]float64(nil), g.Width...),
+			Counts: append([]uint32(nil), g.Counts...),
+		}
+	}
+	return snap
+}
+
+func histSnap(h *Histogram) HistogramSnapshot {
+	return HistogramSnapshot{Lo: h.Lo, Hi: h.Hi, N: h.N, Counts: append([]uint64(nil), h.Counts...)}
+}
+
+// Restore overwrites s with the recorded snapshot, if the snapshot's
+// geometry is compatible with s (same dimensionality, histogram spans
+// and bucket counts, and grid shape). It reports whether the install
+// happened; on false, s is left unchanged.
+func (s *Layer) Restore(snap Snapshot) bool {
+	if snap.K != s.k || len(snap.Axes) != len(s.axes) {
+		return false
+	}
+	for a := range s.axes {
+		if !histCompatible(&s.axes[a].Lo, snap.Axes[a].Lo) || !histCompatible(&s.axes[a].Hi, snap.Axes[a].Hi) {
+			return false
+		}
+	}
+	if !gridCompatible(&s.grid, snap.Grid) {
+		return false
+	}
+	s.count = snap.Count
+	for a := range s.axes {
+		histRestore(&s.axes[a].Lo, snap.Axes[a].Lo)
+		histRestore(&s.axes[a].Hi, snap.Axes[a].Hi)
+		s.axes[a].SumLo = snap.Axes[a].SumLo
+		s.axes[a].SumHi = snap.Axes[a].SumHi
+	}
+	if snap.Grid != nil {
+		copy(s.grid.Counts, snap.Grid.Counts)
+	}
+	return true
+}
+
+func histCompatible(h *Histogram, snap HistogramSnapshot) bool {
+	return snap.Lo == h.Lo && snap.Hi == h.Hi && len(snap.Counts) == len(h.Counts)
+}
+
+func histRestore(h *Histogram, snap HistogramSnapshot) {
+	h.N = snap.N
+	copy(h.Counts, snap.Counts)
+}
+
+func gridCompatible(g *Grid, snap *GridSnapshot) bool {
+	if snap == nil {
+		return g.Axes == 0
+	}
+	if snap.Axes != g.Axes || snap.Side != g.Side || len(snap.Counts) != len(g.Counts) {
+		return false
+	}
+	for i := range g.Lo {
+		if snap.Lo[i] != g.Lo[i] || snap.Width[i] != g.Width[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Binary codec. Layout (all integers uvarint unless noted, floats as
+// IEEE-754 bits in uvarint-framed little-endian u64):
+//
+//	k count nAxes { lo hi n nCounts counts... ×2  sumLo sumHi } ×nAxes
+//	gridAxes [side {lo width}×axes nCounts counts...]
+//
+// The blob is self-delimiting; the enclosing snapshot frames it with a
+// length prefix anyway.
+
+// MarshalBinary encodes the snapshot.
+func (snap Snapshot) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(snap.K))
+	buf = binary.AppendUvarint(buf, snap.Count)
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Axes)))
+	for _, ax := range snap.Axes {
+		for _, h := range []HistogramSnapshot{ax.Lo, ax.Hi} {
+			buf = appendF64(buf, h.Lo)
+			buf = appendF64(buf, h.Hi)
+			buf = binary.AppendUvarint(buf, h.N)
+			buf = binary.AppendUvarint(buf, uint64(len(h.Counts)))
+			for _, c := range h.Counts {
+				buf = binary.AppendUvarint(buf, c)
+			}
+		}
+		buf = appendF64(buf, ax.SumLo)
+		buf = appendF64(buf, ax.SumHi)
+	}
+	if snap.Grid == nil {
+		buf = binary.AppendUvarint(buf, 0)
+		return buf, nil
+	}
+	g := snap.Grid
+	buf = binary.AppendUvarint(buf, uint64(g.Axes))
+	buf = binary.AppendUvarint(buf, uint64(g.Side))
+	for i := 0; i < g.Axes; i++ {
+		buf = appendF64(buf, g.Lo[i])
+		buf = appendF64(buf, g.Width[i])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(g.Counts)))
+	for _, c := range g.Counts {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a snapshot produced by MarshalBinary.
+func (snap *Snapshot) UnmarshalBinary(data []byte) error {
+	d := &bindec{buf: data}
+	snap.K = int(d.uvarint())
+	snap.Count = d.uvarint()
+	nAxes := d.uvarint()
+	if nAxes > 1<<16 {
+		return fmt.Errorf("stats: implausible axis count %d", nAxes)
+	}
+	snap.Axes = make([]AxisSnapshot, nAxes)
+	for a := range snap.Axes {
+		for _, h := range []*HistogramSnapshot{&snap.Axes[a].Lo, &snap.Axes[a].Hi} {
+			h.Lo = d.f64()
+			h.Hi = d.f64()
+			h.N = d.uvarint()
+			n := d.uvarint()
+			if n > 1<<20 {
+				return fmt.Errorf("stats: implausible bucket count %d", n)
+			}
+			h.Counts = make([]uint64, n)
+			for i := range h.Counts {
+				h.Counts[i] = d.uvarint()
+			}
+		}
+		snap.Axes[a].SumLo = d.f64()
+		snap.Axes[a].SumHi = d.f64()
+	}
+	gridAxes := int(d.uvarint())
+	if gridAxes == 0 {
+		snap.Grid = nil
+		return d.err
+	}
+	g := &GridSnapshot{Axes: gridAxes}
+	g.Side = int(d.uvarint())
+	if gridAxes > 8 || g.Side > 1<<12 {
+		return fmt.Errorf("stats: implausible grid shape %d×%d", gridAxes, g.Side)
+	}
+	g.Lo = make([]float64, gridAxes)
+	g.Width = make([]float64, gridAxes)
+	for i := 0; i < gridAxes; i++ {
+		g.Lo[i] = d.f64()
+		g.Width[i] = d.f64()
+	}
+	n := d.uvarint()
+	if n > 1<<24 {
+		return fmt.Errorf("stats: implausible grid cell count %d", n)
+	}
+	g.Counts = make([]uint32, n)
+	for i := range g.Counts {
+		g.Counts[i] = uint32(d.uvarint())
+	}
+	snap.Grid = g
+	return d.err
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+type bindec struct {
+	buf []byte
+	err error
+}
+
+func (d *bindec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("stats: truncated snapshot")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *bindec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = fmt.Errorf("stats: truncated snapshot")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}

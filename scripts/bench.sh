@@ -2,7 +2,7 @@
 # bench.sh — the tracked benchmark harness (`make bench`).
 #
 # Runs the trajectory benchmark set with -benchmem and writes the results
-# as JSON (default BENCH_PR6.json) via scripts/benchjson, so every PR can
+# as JSON (default BENCH_PR7.json) via scripts/benchjson, so every PR can
 # compare ns/op, B/op and allocs/op against the committed baseline. The CI
 # bench job runs this same script on the PR head and on main and prints a
 # benchstat-style comparison.
@@ -15,10 +15,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH=${BENCH:-'BenchmarkE1Smuggler|BenchmarkE6Pruning|BenchmarkE9Join|BenchmarkE14Parallel|BenchmarkRegionOps|BenchmarkServiceQueryCached|BenchmarkWALAppend'}
+BENCH=${BENCH:-'BenchmarkE1Smuggler|BenchmarkE6Pruning|BenchmarkE12AdaptiveExecution|BenchmarkE9Join|BenchmarkE14Parallel|BenchmarkRegionOps|BenchmarkServiceQueryCached|BenchmarkWALAppend'}
 BENCHTIME=${BENCHTIME:-300ms}
 COUNT=${COUNT:-3}
-OUT=${OUT:-BENCH_PR6.json}
+OUT=${OUT:-BENCH_PR7.json}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
