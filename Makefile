@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: build test race bench vet golden golden-update
+.PHONY: build test race bench vet lint lint-fix golden golden-update
 
 build:
 	go build ./...
@@ -13,6 +13,21 @@ race:
 
 vet:
 	go vet ./...
+
+# lint runs the domain-invariant static-analysis suite (cmd/boolqvet:
+# lockguard, ctxpoll, noalloc, walcheck, errflow — see DESIGN.md §8),
+# plus gofmt and go vet. Blocking in CI; every finding is either a real
+# bug or carries a reasoned `//lint:ignore <analyzer> <why>`.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	go vet ./...
+	go run ./cmd/boolqvet ./...
+
+# lint-fix applies the mechanical part (formatting); analyzer findings
+# need a human: fix the bug or add a reasoned suppression.
+lint-fix:
+	gofmt -w .
 
 # bench runs the tracked benchmark harness with -benchmem and refreshes
 # BENCH_PR7.json (see scripts/bench.sh for the BENCH/BENCHTIME/COUNT/OUT

@@ -1,0 +1,84 @@
+// Command boolqvet runs the engine's invariant analyzers (lockguard,
+// ctxpoll, noalloc, walcheck, errflow — see internal/analysis and
+// DESIGN.md §8) over Go packages.
+//
+// Standalone:
+//
+//	boolqvet ./...                # analyze packages in the current module
+//	boolqvet -list                # print the analyzers
+//	boolqvet -ctxpoll.pkgs=...    # per-analyzer configuration
+//
+// As a vet tool (the unitchecker protocol — cmd/go drives one process
+// per package and threads facts through .vetx files):
+//
+//	go vet -vettool=$(pwd)/bin/boolqvet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The unitchecker protocol greets the tool with single-purpose
+	// invocations before feeding it package config files.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]") // analyzer flags are not exposed through go vet; defaults apply
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitCheck(args[0]))
+		}
+	}
+
+	analyzers := suite.Analyzers()
+	list := flag.Bool("list", false, "list analyzers and exit")
+	for _, a := range analyzers {
+		if a.Flags == nil {
+			continue
+		}
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boolqvet:", err)
+		os.Exit(2)
+	}
+	results, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boolqvet:", err)
+		os.Exit(2)
+	}
+	for _, r := range results {
+		fmt.Fprintln(os.Stderr, r)
+	}
+	if len(results) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsVetClean is the meta-check: the suite must report nothing on
+// the repository itself. Every true positive boolqvet ever finds is
+// either fixed or carries a reasoned //lint:ignore, so a finding here is
+// a regression — a new bug, or a new false-positive class to fix in the
+// analyzer before it lands.
+func TestRepoIsVetClean(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := analysis.LoadPackages(root, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	results, err := analysis.RunAnalyzers(pkgs, suite.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, r := range results {
+		t.Errorf("%s", r)
+	}
+}
+
+// TestVettoolProtocol builds the binary and runs it under go vet, which
+// exercises the unitchecker protocol (-V=full handshake, .cfg units,
+// .vetx fact files) that the in-process path above does not touch.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and re-vets the tree; skipped in -short")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "boolqvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/boolqvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool reported findings: %v\n%s", err, out)
+	}
+}

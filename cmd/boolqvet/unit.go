@@ -1,0 +1,157 @@
+package main
+
+// The unitchecker protocol: when run under `go vet -vettool=`, cmd/go
+// invokes the tool once per package with a JSON config file naming the
+// sources, the import→export-data map, and .vetx fact files from
+// dependency packages; the tool type-checks the unit, runs the
+// analyzers, writes its own facts to VetxOutput, and reports
+// diagnostics on stderr. This mirrors x/tools' unitchecker closely
+// enough for cmd/go to drive it (version fingerprint for the build
+// cache included).
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// unitConfig is the subset of cmd/go's vet config the shim consumes.
+type unitConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers -V=full with a fingerprint of the executable so
+// the go command's cache invalidates when the tool changes.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+// unitCheck analyzes one package unit; the return value is the process
+// exit code (0 clean, 1 findings or failure — any nonzero fails `go
+// vet`).
+func unitCheck(cfgPath string) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boolqvet:", err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "boolqvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		ex, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(ex)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "boolqvet:", err)
+		return 1
+	}
+
+	// Merge facts from every dependency's .vetx.
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // no facts recorded for that package
+		}
+		var wire map[string][]string
+		if err := json.Unmarshal(data, &wire); err != nil {
+			continue
+		}
+		facts.Merge(wire)
+	}
+
+	unit := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+	}
+	results, err := analysis.RunOnPackage(unit, suite.Analyzers(), facts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boolqvet:", err)
+		return 1
+	}
+
+	if cfg.VetxOutput != "" {
+		data, err := json.Marshal(facts.Export())
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "boolqvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, r := range results {
+		fmt.Fprintln(os.Stderr, r)
+	}
+	if len(results) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readConfig(path string) (*unitConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,151 @@
+// Package analysis is boolqvet's analyzer framework: a minimal,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic, cross-package facts) built on
+// the standard library alone. The engine's invariants — the spatialdb
+// lock protocol, the every-256-candidates cancellation poll, the
+// zero-allocation hot path, WAL-after-apply-under-lock ordering, the
+// HTTP error-flow contract — live outside Go's type system; the analyzer
+// suite under this package turns each of them into a machine-checked
+// rule that fails `make lint` (and CI) the moment a new code path
+// violates it. DESIGN.md §8 catalogues the invariants; cmd/boolqvet is
+// the multichecker binary that runs them standalone or as a `go vet
+// -vettool`.
+//
+// Why not golang.org/x/tools? The repository is deliberately
+// dependency-free (go.mod has no requires), and the build must stay
+// hermetic on machines with no module proxy access. Loading is done with
+// `go list -export` plus go/importer's gc export-data reader, which is
+// the same mechanism x/tools' unitchecker uses underneath.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant checker. The fields mirror
+// x/tools/go/analysis.Analyzer so the suite could migrate if the
+// dependency constraint ever lifts.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Flags holds the analyzer's configuration knobs. cmd/boolqvet
+	// re-registers them on its command line as -<name>.<flag>; the
+	// fixture tests set them directly.
+	Flags *flag.FlagSet
+	Run   func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// facts is the shared whole-run fact store; see FactStore.
+	facts *FactStore
+
+	diagnostics []Diagnostic
+}
+
+// NewPass assembles a pass. A nil facts store gets an empty one (facts
+// exported into it are simply invisible to other packages).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) *Pass {
+	if facts == nil {
+		facts = NewFactStore()
+	}
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, facts: facts}
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostics returns the findings reported so far, in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// ExportFact records a symbol-level fact for this analyzer (e.g. noalloc
+// exports every //boolq:noalloc-annotated function), visible to later
+// passes over importing packages. Symbols are canonical strings —
+// types.Func.FullName for functions and methods — so facts survive the
+// export-data boundary, where object identity does not.
+func (p *Pass) ExportFact(symbol string) { p.facts.Add(p.Analyzer.Name, symbol) }
+
+// HasFact reports whether any previously analyzed package (or this one)
+// exported the symbol under this analyzer.
+func (p *Pass) HasFact(symbol string) bool { return p.facts.Has(p.Analyzer.Name, symbol) }
+
+// FactStore accumulates exported facts across a whole run: the driver
+// analyzes packages in dependency order and threads one store through,
+// and the vettool shim serializes it into the .vetx files go vet passes
+// between packages.
+type FactStore struct {
+	m map[string]map[string]bool // analyzer → symbol set
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: map[string]map[string]bool{}} }
+
+// Add records symbol under analyzer.
+func (s *FactStore) Add(analyzer, symbol string) {
+	set, ok := s.m[analyzer]
+	if !ok {
+		set = map[string]bool{}
+		s.m[analyzer] = set
+	}
+	set[symbol] = true
+}
+
+// Has reports whether symbol was recorded under analyzer.
+func (s *FactStore) Has(analyzer, symbol string) bool { return s.m[analyzer][symbol] }
+
+// Export renders the store as analyzer → sorted symbols, the wire form
+// the vettool shim writes.
+func (s *FactStore) Export() map[string][]string {
+	out := make(map[string][]string, len(s.m))
+	for a, set := range s.m {
+		syms := make([]string, 0, len(set))
+		for sym := range set {
+			syms = append(syms, sym)
+		}
+		sort.Strings(syms)
+		out[a] = syms
+	}
+	return out
+}
+
+// Merge adds every fact of the wire form into the store.
+func (s *FactStore) Merge(facts map[string][]string) {
+	for a, syms := range facts {
+		for _, sym := range syms {
+			s.Add(a, sym)
+		}
+	}
+}
+
+// FuncSymbol renders fn's canonical fact symbol
+// ("pkg/path.Func" or "(*pkg/path.Type).Method").
+func FuncSymbol(fn *types.Func) string { return fn.FullName() }

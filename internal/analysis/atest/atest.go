@@ -1,0 +1,171 @@
+// Package atest is a self-contained analysistest: it loads a fixture
+// package from testdata/src/<name>, runs one analyzer over it, and
+// matches the diagnostics against `// want "regex"` comments in the
+// fixture source. Fixtures are ordinary Go packages restricted to
+// standard-library imports (resolved through build-cache export data),
+// so the true-positive and near-miss cases stay small and hermetic.
+package atest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads testdata/src/<name> (package path = <name>), applies the
+// analyzer, and asserts the diagnostics are exactly the fixture's
+// `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, name string) {
+	t.Helper()
+	pkg := Load(t, name)
+	results, err := analysis.RunOnPackage(pkg, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	expected := map[key][]string{} // unmatched want regexes
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, pat := range splitWants(t, m[1]) {
+					expected[k] = append(expected[k], pat)
+				}
+			}
+		}
+	}
+
+	for _, r := range results {
+		k := key{filepath.Base(r.Position.Filename), r.Position.Line}
+		pats := expected[k]
+		matched := -1
+		for i, pat := range pats {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("bad want regexp %q at %s:%d: %v", pat, k.file, k.line, err)
+			}
+			if re.MatchString(r.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", k.file, k.line, r.Message)
+			continue
+		}
+		expected[k] = append(pats[:matched], pats[matched+1:]...)
+		if len(expected[k]) == 0 {
+			delete(expected, k)
+		}
+	}
+	var missed []string
+	for k, pats := range expected {
+		for _, pat := range pats {
+			missed = append(missed, k.file+":"+strconv.Itoa(k.line)+": no diagnostic matching "+strconv.Quote(pat))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+// Apply runs one analyzer over an already-loaded fixture package and
+// returns the (suppression-filtered) results, for tests that assert on
+// findings directly instead of via want comments.
+func Apply(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) []analysis.RunResult {
+	t.Helper()
+	results, err := analysis.RunOnPackage(pkg, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return results
+}
+
+// splitWants parses the tail of a want comment: one or more
+// double-quoted (possibly backquoted) regexes.
+func splitWants(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("malformed want expectation %q: %v", s, err)
+		}
+		pat, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("malformed want expectation %q: %v", prefix, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	return out
+}
+
+// Load parses and type-checks the fixture package testdata/src/<name>
+// relative to the calling test's working directory.
+func Load(t *testing.T, name string) *analysis.Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	pkg, err := analysis.CheckFixture(fset, name, files, keys(imports))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

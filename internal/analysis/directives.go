@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The analyzers are configured by comment directives in the checked
+// source, all under one namespace:
+//
+//	//boolq:guardedby mu        on a struct field: accesses require the
+//	                            sibling mutex field mu to be held
+//	//boolq:locked mu           on a func: callers guarantee mu of the
+//	                            receiver/first param is write-held at entry
+//	//boolq:rlocked mu          same, read-held
+//	//boolq:noalloc             the function must not allocate
+//	//boolq:allowalloc <why>    line-level escape inside a noalloc func
+//	                            (e.g. one-time scratch growth)
+//	//boolq:mutation [nostats]  a store mutation entry point: write lock,
+//	                            epoch bump, WAL log after apply with the
+//	                            error propagated, stats maintenance
+//	//boolq:statsink            marks a statistics-maintenance func that
+//	                            mutation entry points must reach
+//	//boolq:errwriter           marks an HTTP error-response writer:
+//	                            calls must be followed by return
+//	//boolq:cancelloop          opt a function into ctxpoll outside the
+//	                            default packages
+//
+// Findings are suppressed, one per line and with a mandatory reason, by
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it.
+
+// Directive is one parsed //boolq: comment.
+type Directive struct {
+	Name string // e.g. "guardedby"
+	Args []string
+	Pos  token.Pos
+}
+
+// Directives indexes every //boolq: directive of one package by the
+// declaration it is attached to.
+type Directives struct {
+	fset  *token.FileSet
+	funcs map[*ast.FuncDecl][]Directive
+	field map[*ast.Field][]Directive
+	// lines holds line-anchored directives (allowalloc, lint:ignore) as
+	// filename:line → directives on that line.
+	lines map[string][]Directive
+}
+
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	if !strings.HasPrefix(text, "boolq:") {
+		return Directive{}, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, "boolq:"))
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	return Directive{Name: fields[0], Args: fields[1:], Pos: c.Pos()}, true
+}
+
+func groupDirectives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CollectDirectives scans the pass's files once.
+func CollectDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	ds := &Directives{
+		fset:  fset,
+		funcs: map[*ast.FuncDecl][]Directive{},
+		field: map[*ast.Field][]Directive{},
+		lines: map[string][]Directive{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c); ok {
+					ds.lines[lineKey(fset, c.Pos())] = append(ds.lines[lineKey(fset, c.Pos())], d)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if d := groupDirectives(n.Doc); len(d) > 0 {
+					ds.funcs[n] = d
+				}
+			case *ast.Field:
+				var d []Directive
+				d = append(d, groupDirectives(n.Doc)...)
+				d = append(d, groupDirectives(n.Comment)...)
+				if len(d) > 0 {
+					ds.field[n] = d
+				}
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+func lineKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return p.Filename + ":" + itoa(p.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Func returns the named directive on fn, if any.
+func (ds *Directives) Func(fn *ast.FuncDecl, name string) (Directive, bool) {
+	for _, d := range ds.funcs[fn] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Field returns the named directive on a struct field, if any.
+func (ds *Directives) Field(f *ast.Field, name string) (Directive, bool) {
+	for _, d := range ds.field[f] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// OnLine reports whether the named directive appears on the line of pos.
+func (ds *Directives) OnLine(pos token.Pos, name string) bool {
+	for _, d := range ds.lines[lineKey(ds.fset, pos)] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- suppression (//lint:ignore) ----
+
+// Suppressions maps filename:line → the analyzer names suppressed there.
+type Suppressions map[string]map[string]bool
+
+// CollectSuppressions scans files for //lint:ignore comments. The
+// directive requires both an analyzer name and a reason; a bare
+// //lint:ignore suppresses nothing (a silent escape hatch would defeat
+// the suite).
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) Suppressions {
+	sup := Suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:ignore ") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
+				if len(fields) < 2 {
+					continue // no reason given: not honored
+				}
+				key := lineKey(fset, c.Pos())
+				if sup[key] == nil {
+					sup[key] = map[string]bool{}
+				}
+				sup[key][fields[0]] = true
+			}
+		}
+	}
+	return sup
+}
+
+// Suppressed reports whether a diagnostic from analyzer at pos is covered
+// by a //lint:ignore on its line or the line above.
+func (s Suppressions) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if m := s[p.Filename+":"+itoa(line)]; m[analyzer] || m["all"] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,284 @@
+// Package errflow enforces the HTTP handlers' response discipline
+// (PR 3's streaming-deadline contract):
+//
+//  1. After an error response is written — http.Error, a
+//     //boolq:errwriter function (writeError), or a local closure
+//     wrapping one — the handler must stop: the only thing allowed to
+//     follow on that path is a return or branch. Anything else risks
+//     appending a success body to an error status (an invalid response
+//     the client may cache).
+//  2. Errors from response writes must not be silently dropped: a bare
+//     `enc.Encode(v)` / `w.Write(b)` expression statement discards the
+//     error that tells the handler its consumer is gone — the exact
+//     signal the streaming write deadline exists to produce. An
+//     explicit `_ = enc.Encode(v)` is accepted as a documented
+//     decision.
+//
+// The check applies to the packages in -errflow.pkgs (default: the
+// HTTP server).
+package errflow
+
+import (
+	"flag"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var flags = flag.NewFlagSet("errflow", flag.ContinueOnError)
+
+// pkgs gates the check.
+var pkgs = flags.String("pkgs", "repro/internal/server", "comma-separated import paths checked")
+
+// Analyzer is the errflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:  "errflow",
+	Doc:   "check HTTP handlers stop after error responses and never drop response-write errors",
+	Flags: flags,
+	Run:   run,
+}
+
+// errProneWrites are method names whose returned error must be looked at.
+var errProneWrites = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Encode":      true,
+	"Flush":       true,
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, p := range strings.Split(*pkgs, ",") {
+		if strings.TrimSpace(p) == pass.Pkg.Path() {
+			inScope = true
+		}
+	}
+
+	dirs := analysis.CollectDirectives(pass.Fset, pass.Files)
+
+	// Annotated error writers export facts even when the package is
+	// otherwise out of scope, so a future second server package sees
+	// them.
+	writers := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := dirs.Func(fn, "errwriter"); !ok {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				writers[obj] = true
+				pass.ExportFact(analysis.FuncSymbol(obj))
+			}
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, writers: writers, closures: map[types.Object]bool{}}
+			c.collectClosures(fn.Body)
+			c.stmts(fn.Body.List, true)
+			c.dropped(fn.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	writers map[types.Object]bool
+	// closures holds local variables bound to a func literal that calls
+	// an error writer (the `fail := func(...)` idiom): calling one IS
+	// writing an error response.
+	closures map[types.Object]bool
+}
+
+func (c *checker) collectClosures(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, r := range as.Rhs {
+			lit, ok := r.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			callsWriter := false
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && c.isErrWriterCall(call) {
+					callsWriter = true
+					return false
+				}
+				return true
+			})
+			if !callsWriter {
+				continue
+			}
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.closures[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// isErrWriterCall reports whether call writes an error response.
+func (c *checker) isErrWriterCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[fun]
+		if obj == nil {
+			return false
+		}
+		if c.writers[obj] || c.closures[obj] {
+			return true
+		}
+		if fn, ok := obj.(*types.Func); ok && c.pass.HasFact(analysis.FuncSymbol(fn)) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		obj := c.pass.TypesInfo.Uses[fun.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return false
+		}
+		if fn.FullName() == "net/http.Error" {
+			return true
+		}
+		if c.writers[obj] || c.pass.HasFact(analysis.FuncSymbol(fn)) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmts enforces rule 1 over a statement list. cont reports whether
+// falling off the end of this list reaches only function exit (no
+// further statements execute).
+func (c *checker) stmts(list []ast.Stmt, cont bool) {
+	for i, s := range list {
+		restExit := exitOnly(list[i+1:], cont)
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && c.isErrWriterCall(call) && !restExit {
+				c.pass.Reportf(call.Pos(), "statements follow this error response on the same path; return immediately after writing an error status")
+			}
+		}
+		c.sub(s, restExit)
+	}
+}
+
+// sub recurses into s's nested statement lists.
+func (c *checker) sub(s ast.Stmt, restExit bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.stmts(s.List, restExit)
+	case *ast.IfStmt:
+		c.stmts(s.Body.List, restExit)
+		if s.Else != nil {
+			c.sub(s.Else, restExit)
+		}
+	case *ast.ForStmt:
+		c.stmts(s.Body.List, false) // the loop comes back around
+	case *ast.RangeStmt:
+		c.stmts(s.Body.List, false)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, restExit)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, restExit)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				c.stmts(cc.Body, restExit)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.sub(s.Stmt, restExit)
+	}
+	// Function literals anywhere inside s: their bodies end at closure
+	// exit, so their own trailing error write is fine.
+	ast.Inspect(s, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, true)
+			return false
+		}
+		return true
+	})
+}
+
+// exitOnly reports whether executing rest reaches only function/branch
+// exit without running another statement.
+func exitOnly(rest []ast.Stmt, cont bool) bool {
+	if len(rest) == 0 {
+		return cont
+	}
+	switch rest[0].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+// dropped enforces rule 2: bare expression-statement calls that discard
+// an error from a response write.
+func (c *checker) dropped(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !errProneWrites[sel.Sel.Name] {
+			return true
+		}
+		fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !returnsError(sig) {
+			return true
+		}
+		c.pass.Reportf(call.Pos(), "%s error discarded; check it (a failed response write is the stalled-consumer signal) or discard explicitly with _ =", sel.Sel.Name)
+		return true
+	})
+}
+
+func returnsError(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}

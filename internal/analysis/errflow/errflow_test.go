@@ -1,0 +1,15 @@
+package errflow
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestErrflow(t *testing.T) {
+	if err := Analyzer.Flags.Set("pkgs", "e"); err != nil {
+		t.Fatal(err)
+	}
+	defer Analyzer.Flags.Set("pkgs", "repro/internal/server")
+	atest.Run(t, Analyzer, "e")
+}

@@ -1,0 +1,76 @@
+// Fixture for errflow: handlers must stop after writing an error
+// response, and response-write errors must be looked at (or discarded
+// explicitly).
+package e
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+//boolq:errwriter
+func writeError(w http.ResponseWriter, code int, msg string) {
+	http.Error(w, msg, code)
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method")
+		return
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]int{"ok": 1}); err != nil {
+		return
+	}
+}
+
+// badContinue falls out of the error branch and appends a success body
+// to an error status.
+func badContinue(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method") // want `statements follow this error response`
+	}
+	_, _ = w.Write([]byte("ok"))
+}
+
+func badHTTPError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad", http.StatusBadRequest) // want `statements follow this error response`
+	_, _ = w.Write([]byte("ok"))
+}
+
+func badDrop(w http.ResponseWriter, r *http.Request) {
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]int{"ok": 1}) // want `Encode error discarded`
+}
+
+// goodExplicitDiscard is the near miss: an explicit blank assignment is
+// a documented decision, not an oversight.
+func goodExplicitDiscard(w http.ResponseWriter, r *http.Request) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(map[string]int{"ok": 1})
+}
+
+// goodTrailing writes the error as the handler's last action: nothing
+// can follow.
+func goodTrailing(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusInternalServerError, "late")
+}
+
+// The fail-closure idiom from the streaming handler: calling the
+// closure is writing an error response.
+func badClosure(w http.ResponseWriter, r *http.Request) {
+	fail := func(code int, msg string) { writeError(w, code, msg) }
+	if r.Method != http.MethodPost {
+		fail(http.StatusMethodNotAllowed, "method") // want `statements follow this error response`
+	}
+	_, _ = w.Write([]byte("ok"))
+}
+
+func goodClosure(w http.ResponseWriter, r *http.Request) {
+	fail := func(code int, msg string) { writeError(w, code, msg) }
+	if r.Method != http.MethodPost {
+		fail(http.StatusMethodNotAllowed, "method")
+		return
+	}
+	_, _ = w.Write([]byte("ok"))
+}

@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader turns package patterns into type-checked syntax without
+// golang.org/x/tools: `go list -deps -export` builds (or reuses from the
+// build cache) gc export data for every dependency, and the target
+// packages are then parsed and type-checked from source with
+// go/importer resolving imports through those export files. This is the
+// same substrate x/tools' unitchecker runs on; we just drive it
+// directly.
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	Path    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Imports []string // import paths, unfiltered
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+}
+
+// goList runs `go list -deps -export -json` in dir over patterns.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Imports,ImportMap",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the importer lookup function over listed packages.
+func exportLookup(pkgs []*listedPkg) func(path string) (io.ReadCloser, error) {
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		// Packages vendored into the standard library appear with a
+		// "vendor/" prefix; map the unprefixed spelling too so either
+		// form found in export data resolves.
+		for from, to := range p.ImportMap {
+			if ex, ok := exports[to]; ok && exports[from] == "" {
+				exports[from] = ex
+			}
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		ex, ok := exports[path]
+		if !ok {
+			ex, ok = exports["vendor/"+path]
+		}
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(ex)
+	}
+}
+
+// LoadPackages loads and type-checks the packages matched by patterns
+// (their dependencies are consumed as export data only), returned in
+// dependency order so fact-producing analyzers see callees before
+// callers.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	lookup := exportLookup(listed)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	byPath := map[string]*listedPkg{}
+	var targets []*listedPkg
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sortByDeps(targets, byPath)
+
+	var out []*Package
+	for _, lp := range targets {
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// sortByDeps orders targets so every package follows its in-target
+// dependencies (stable on the input order within a level).
+func sortByDeps(targets []*listedPkg, byPath map[string]*listedPkg) {
+	inTarget := map[string]bool{}
+	for _, t := range targets {
+		inTarget[t.ImportPath] = true
+	}
+	depth := map[string]int{}
+	var rank func(path string, seen map[string]bool) int
+	rank = func(path string, seen map[string]bool) int {
+		if d, ok := depth[path]; ok {
+			return d
+		}
+		if seen[path] {
+			return 0 // import cycle: the compiler will complain, not us
+		}
+		seen[path] = true
+		d := 0
+		for _, imp := range byPath[path].Imports {
+			if inTarget[imp] {
+				if r := rank(imp, seen) + 1; r > d {
+					d = r
+				}
+			}
+		}
+		depth[path] = d
+		return d
+	}
+	for _, t := range targets {
+		rank(t.ImportPath, map[string]bool{})
+	}
+	sort.SliceStable(targets, func(i, j int) bool {
+		return depth[targets[i].ImportPath] < depth[targets[j].ImportPath]
+	})
+}
+
+// typeCheck parses and type-checks one listed package from source.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:    lp.ImportPath,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+		Imports: lp.Imports,
+	}, nil
+}
+
+// CheckFixture type-checks an already-parsed fixture package (see
+// package atest) whose imports — standard library only — are resolved
+// through `go list -export` build-cache export data.
+func CheckFixture(fset *token.FileSet, path string, files []*ast.File, imports []string) (*Package, error) {
+	var imp types.Importer
+	if len(imports) > 0 {
+		listed, err := goList(".", imports)
+		if err != nil {
+			return nil, err
+		}
+		imp = importer.ForCompiler(fset, "gc", exportLookup(listed))
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// NewTypesInfo allocates the Info maps every analyzer relies on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// RunResult is one analyzer finding with its resolved position.
+type RunResult struct {
+	Position token.Position
+	Message  string
+	Analyzer string
+}
+
+func (r RunResult) String() string {
+	return fmt.Sprintf("%s: %s (%s)", r.Position, r.Message, r.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package (packages must be
+// in dependency order, as LoadPackages returns them), threading one fact
+// store through the run and filtering //lint:ignore-suppressed findings.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]RunResult, error) {
+	facts := NewFactStore()
+	var out []RunResult
+	for _, pkg := range pkgs {
+		results, err := RunOnPackage(pkg, analyzers, facts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, results...)
+	}
+	return out, nil
+}
+
+// RunOnPackage applies the analyzers to one loaded package against a
+// shared fact store, filtering suppressed findings.
+func RunOnPackage(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]RunResult, error) {
+	sup := CollectSuppressions(pkg.Fset, pkg.Files)
+	var out []RunResult
+	for _, a := range analyzers {
+		pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, facts)
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.Diagnostics() {
+			if sup.Suppressed(pkg.Fset, a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, RunResult{
+				Position: pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+				Analyzer: a.Name,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+// Package lockguard enforces the engine's mutex protocol: struct fields
+// annotated `//boolq:guardedby mu` may only be read with mu (or the
+// struct's own lock methods) held, and only be written with it held in
+// write mode; and no function may leave a non-deferred lock held at a
+// return — the PR 3 class of bug where an early error return pinned the
+// store's read guard and stalled every writer.
+//
+// Functions whose callers take the lock declare it:
+//
+//	//boolq:locked mu    — write-held at entry (caller releases)
+//	//boolq:rlocked mu   — read-held at entry
+//
+// and the `...Locked` name suffix is honored as an implicit
+// //boolq:locked for every guard of the receiver's struct. Closures are
+// analyzed with an empty lock state: a closure may run on another
+// goroutine or after the enclosing critical section, so it must take
+// (or be annotated with) the lock itself.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "check //boolq:guardedby fields are accessed under their mutex and no lock is leaked past a return",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	dirs := analysis.CollectDirectives(pass.Fset, pass.Files)
+
+	// guardedVars maps each annotated field object to its guard field
+	// name; structGuards maps a struct type name to the guards its
+	// fields reference (for the ...Locked seeding convention).
+	guardedVars := map[types.Object]string{}
+	structGuards := map[string]map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				d, ok := dirs.Field(field, "guardedby")
+				if !ok {
+					continue
+				}
+				if len(d.Args) != 1 {
+					pass.Reportf(d.Pos, "malformed //boolq:guardedby: want exactly one guard field name")
+					continue
+				}
+				guard := d.Args[0]
+				if structGuards[ts.Name.Name] == nil {
+					structGuards[ts.Name.Name] = map[string]bool{}
+				}
+				structGuards[ts.Name.Name][guard] = true
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guardedVars[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, dirs, guardedVars, structGuards, fn)
+		}
+	}
+	return nil
+}
+
+// recvName returns the name of fn's receiver (or first parameter for a
+// plain function), used to resolve //boolq:locked's guard argument.
+func recvName(fn *ast.FuncDecl) string {
+	fields := fn.Recv
+	if fields == nil || len(fields.List) == 0 {
+		if fn.Type.Params == nil || len(fn.Type.Params.List) == 0 {
+			return ""
+		}
+		fields = fn.Type.Params
+	}
+	if len(fields.List[0].Names) == 0 {
+		return ""
+	}
+	return fields.List[0].Names[0].Name
+}
+
+// recvStructName returns the receiver's named type (sans pointer).
+func recvStructName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isLockWrapper reports whether fn's body is nothing but lock-protocol
+// calls — the exported Store.RLock/RUnlock style wrapper, whose entire
+// purpose is to return while (un)holding the lock.
+func isLockWrapper(fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) == 0 {
+		return false
+	}
+	for _, s := range fn.Body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if _, _, _, ok := analysis.LockEvent(call); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFunc(pass *analysis.Pass, dirs *analysis.Directives, guardedVars map[types.Object]string, structGuards map[string]map[string]bool, fn *ast.FuncDecl) {
+	if isLockWrapper(fn) {
+		return
+	}
+	st := analysis.NewLockState()
+	recv := recvName(fn)
+	if d, ok := dirs.Func(fn, "locked"); ok && recv != "" && len(d.Args) == 1 {
+		st.Seed(recv+"."+d.Args[0], analysis.ModeWrite)
+	}
+	if d, ok := dirs.Func(fn, "rlocked"); ok && recv != "" && len(d.Args) == 1 {
+		st.Seed(recv+"."+d.Args[0], analysis.ModeRead)
+	}
+	if strings.HasSuffix(fn.Name.Name, "Locked") && recv != "" {
+		for guard := range structGuards[recvStructName(fn)] {
+			st.Seed(recv+"."+guard, analysis.ModeWrite)
+		}
+	}
+	walkBody(pass, guardedVars, fn.Body, st, constructorLocals(pass, fn.Body))
+}
+
+// constructorLocals collects local variables assigned a fresh composite
+// literal (or new(T)) anywhere in body: a value under construction is
+// not yet shared, so its guarded fields may be initialized lock-free.
+func constructorLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	isFresh := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			_, lit := e.X.(*ast.CompositeLit)
+			return e.Op.String() == "&" && lit
+		case *ast.CallExpr:
+			id, ok := e.Fun.(*ast.Ident)
+			return ok && id.Name == "new"
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || !isFresh(as.Rhs[i]) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func walkBody(pass *analysis.Pass, guardedVars map[types.Object]string, body *ast.BlockStmt, st *analysis.LockState, fresh map[types.Object]bool) {
+	h := analysis.LockHandler{
+		Expr: func(e ast.Expr, write bool, st *analysis.LockState) {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			guard, guarded := guardedVars[obj]
+			if !guarded {
+				return
+			}
+			base := analysis.RenderExpr(sel.X)
+			if base == "" {
+				return // not a plain path; out of the model's reach
+			}
+			if root := strings.SplitN(base, ".", 2)[0]; rootIsFresh(pass, sel.X, root, fresh) {
+				return
+			}
+			if !st.HeldFor(base, guard, write) {
+				mode := "read"
+				need := guard
+				if write {
+					mode = "write"
+					need = guard + " (write-locked)"
+				}
+				pass.Reportf(sel.Sel.Pos(), "%s of %s.%s without holding %s.%s", mode, base, sel.Sel.Name, base, need)
+			}
+		},
+		Exit: func(pos token.Pos, st *analysis.LockState) {
+			for key, lpos := range st.InlineHeld() {
+				lp := pass.Fset.Position(lpos)
+				pass.Reportf(pos, "%s locked at line %d is still held at this return; unlock on every path or defer", key, lp.Line)
+			}
+		},
+	}
+	lits := analysis.WalkLocks(body, st, h)
+	for i := 0; i < len(lits); i++ {
+		// Closures start with no locks held; their own nested literals
+		// are appended to the same queue.
+		lits = append(lits, analysis.WalkLocks(lits[i].Body, analysis.NewLockState(), h)...)
+	}
+}
+
+// rootIsFresh reports whether the access path's root identifier is a
+// constructor-local.
+func rootIsFresh(pass *analysis.Pass, x ast.Expr, root string, fresh map[types.Object]bool) bool {
+	for {
+		switch e := x.(type) {
+		case *ast.ParenExpr:
+			x = e.X
+			continue
+		case *ast.StarExpr:
+			x = e.X
+			continue
+		case *ast.SelectorExpr:
+			x = e.X
+			continue
+		case *ast.Ident:
+			if e.Name != root {
+				return false
+			}
+			return fresh[pass.TypesInfo.Uses[e]]
+		default:
+			return false
+		}
+	}
+}

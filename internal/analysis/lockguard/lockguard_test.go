@@ -1,0 +1,11 @@
+package lockguard
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestLockguard(t *testing.T) {
+	atest.Run(t, Analyzer, "a")
+}

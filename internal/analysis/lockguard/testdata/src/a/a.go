@@ -1,0 +1,102 @@
+// Fixture for lockguard: guarded-field access and lock-leak findings,
+// plus the near-miss shapes that must stay silent.
+package a
+
+import "sync"
+
+type Store struct {
+	mu     sync.RWMutex
+	layers map[string]int //boolq:guardedby mu
+	epoch  int            //boolq:guardedby mu
+}
+
+func (s *Store) Good(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.layers[name]
+}
+
+func (s *Store) GoodWrite(name string, v int) {
+	s.mu.Lock()
+	s.layers[name] = v
+	s.mu.Unlock()
+}
+
+func (s *Store) BadRead(name string) int {
+	return s.layers[name] // want `read of s\.layers without holding s\.mu`
+}
+
+func (s *Store) BadWriteUnderRead(name string, v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.layers[name] = v // want `write of s\.layers without holding s\.mu \(write-locked\)`
+}
+
+// BadPinned is the PR 3 bug class: the early error return leaves the
+// read guard held forever.
+func (s *Store) BadPinned(name string) (int, bool) {
+	s.mu.RLock()
+	v, ok := s.layers[name]
+	if !ok {
+		return 0, false // want `s\.mu locked at line \d+ is still held at this return`
+	}
+	s.mu.RUnlock()
+	return v, true
+}
+
+// GoodBranch is the near miss: both paths release before returning.
+func (s *Store) GoodBranch(name string) (int, bool) {
+	s.mu.RLock()
+	v, ok := s.layers[name]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	s.mu.RUnlock()
+	return v, true
+}
+
+//boolq:locked mu
+func (s *Store) apply(v int) { s.epoch = v }
+
+//boolq:rlocked mu
+func (s *Store) peek() int { return s.epoch }
+
+//boolq:rlocked mu
+func (s *Store) badRLockedWrite(v int) {
+	s.epoch = v // want `write of s\.epoch without holding s\.mu \(write-locked\)`
+}
+
+// The ...Locked suffix is an implicit //boolq:locked for every guard of
+// the receiver.
+func (s *Store) bumpLocked() { s.epoch++ }
+
+// Lock wrappers exist to return while (un)holding the lock.
+func (s *Store) RLock()   { s.mu.RLock() }
+func (s *Store) RUnlock() { s.mu.RUnlock() }
+
+// Values under construction are not shared yet: no findings.
+func NewStore() *Store {
+	s := &Store{layers: map[string]int{}}
+	s.layers["seed"] = 1
+	s.epoch = 1
+	return s
+}
+
+// A closure starts with an empty lock state even if the enclosing
+// function holds the lock — it may run later on another goroutine.
+func (s *Store) BadClosure(name string) func() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return func() int {
+		return s.layers[name] // want `read of s\.layers without holding s\.mu`
+	}
+}
+
+func (s *Store) GoodClosure(name string) func() int {
+	return func() int {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.layers[name]
+	}
+}

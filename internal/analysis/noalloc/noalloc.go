@@ -1,0 +1,306 @@
+// Package noalloc is the compile-time backstop to the AllocsPerRun
+// regression tests (PR 4): a function annotated //boolq:noalloc must
+// contain no allocating construct. Flagged inside an annotated body:
+//
+//   - make/new calls, composite literals, function literals, go
+//     statements
+//   - append (amortized-growth appends carry a line-level
+//     //boolq:allowalloc <reason>)
+//   - string concatenation
+//   - arguments boxed into interface parameters (non-pointer concrete
+//     values escaping into any/interface params)
+//   - conversions between strings and byte/rune slices
+//   - calls into deny-listed formatting packages (fmt, errors)
+//   - calls to same-package functions not themselves //boolq:noalloc,
+//     and cross-package calls without an exported noalloc fact
+//
+// Arguments of panic(...) are exempt: a violated precondition may
+// format its message, the price is paid only on the way down. The
+// annotation is exported as a fact, so `bbox.Program.Eval` being
+// noalloc is checkable from the query executor's package.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "check //boolq:noalloc functions contain no allocating constructs",
+	Run:  run,
+}
+
+// denyPkgs always allocate (or may): calling them in a hot path is a
+// bug even if this call happens to stay on the stack.
+var denyPkgs = map[string]bool{"fmt": true, "errors": true}
+
+// allowPkgs hold pure leaf functions that never allocate.
+var allowPkgs = map[string]bool{"math": true, "math/bits": true}
+
+func run(pass *analysis.Pass) error {
+	dirs := analysis.CollectDirectives(pass.Fset, pass.Files)
+
+	// First pass: find the annotated set and export facts so importing
+	// packages can call these functions from their own noalloc bodies.
+	annotated := map[*ast.FuncDecl]bool{}
+	local := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := dirs.Func(fn, "noalloc"); !ok {
+				continue
+			}
+			annotated[fn] = true
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				local[obj] = true
+				pass.ExportFact(analysis.FuncSymbol(obj))
+			}
+		}
+	}
+
+	for fn := range annotated {
+		if fn.Body != nil {
+			check(pass, dirs, local, fn)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	dirs  *analysis.Directives
+	local map[types.Object]bool
+	fn    *ast.FuncDecl
+}
+
+func check(pass *analysis.Pass, dirs *analysis.Directives, local map[types.Object]bool, fn *ast.FuncDecl) {
+	c := &checker{pass: pass, dirs: dirs, local: local, fn: fn}
+	c.walk(fn.Body)
+}
+
+// report flags pos unless the line carries //boolq:allowalloc.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.dirs.OnLine(pos, "allowalloc") {
+		return
+	}
+	c.pass.Reportf(pos, "//boolq:noalloc %s: "+format, append([]any{c.fn.Name.Name}, args...)...)
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement allocates a goroutine")
+			return false
+		case *ast.DeferStmt:
+			// A non-open-coded defer may allocate; the annotated hot
+			// paths have none, so flag them all.
+			c.report(n.Pos(), "defer may allocate")
+			return false
+		case *ast.FuncLit:
+			c.report(n.Pos(), "function literal allocates a closure")
+			return false
+		case *ast.CompositeLit:
+			c.report(n.Pos(), "composite literal allocates")
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && c.isString(n.X) {
+				c.report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			return c.call(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// call inspects one call expression; returns whether Inspect should
+// descend into the children.
+func (c *checker) call(call *ast.CallExpr) bool {
+	// Builtins and conversions first.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "panic":
+			// The panic path is allowed to allocate its message.
+			return false
+		case "make":
+			c.report(call.Pos(), "make allocates")
+			return false
+		case "new":
+			c.report(call.Pos(), "new allocates")
+			return false
+		case "append":
+			c.report(call.Pos(), "append may grow its backing array")
+			// fall through to visit the arguments
+			return true
+		case "len", "cap", "copy", "delete", "min", "max", "clear", "print", "println", "recover":
+			return true
+		}
+	}
+	if c.isConversion(call) {
+		c.convCheck(call)
+		return true
+	}
+	c.calleeCheck(call)
+	c.boxingCheck(call)
+	return true
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (c *checker) isConversion(call *ast.CallExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// convCheck flags string<->slice conversions, which copy.
+func (c *checker) convCheck(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to, okTo := c.pass.TypesInfo.Types[call.Fun]
+	from, okFrom := c.pass.TypesInfo.Types[call.Args[0]]
+	if !okTo || !okFrom {
+		return
+	}
+	toStr := isStringType(to.Type)
+	fromStr := isStringType(from.Type)
+	if toStr != fromStr {
+		c.report(call.Pos(), "string/slice conversion copies")
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// calleeCheck requires every called function to be provably
+// non-allocating: same-package noalloc annotation, cross-package
+// noalloc fact, or an allow-listed pure package.
+func (c *checker) calleeCheck(call *ast.CallExpr) {
+	callee := typeutilCallee(c.pass.TypesInfo, call)
+	if callee == nil {
+		// Dynamic call through a function value or interface: nothing
+		// to verify against, and the call itself may not allocate — the
+		// closure creation was flagged where it happened.
+		return
+	}
+	if pkg := callee.Pkg(); pkg != nil && pkg != c.pass.Pkg {
+		switch {
+		case denyPkgs[pkg.Path()]:
+			c.report(call.Pos(), "call into %s allocates", pkg.Path())
+		case allowPkgs[pkg.Path()]:
+			// pure leaf package
+		case c.pass.HasFact(analysis.FuncSymbol(callee)):
+			// proven noalloc by its own package's pass
+		default:
+			c.report(call.Pos(), "call to %s has no noalloc guarantee", callee.FullName())
+		}
+		return
+	}
+	if !c.local[callee] {
+		c.report(call.Pos(), "call to %s, which is not //boolq:noalloc", callee.Name())
+	}
+}
+
+// boxingCheck flags arguments converted to interface parameters: boxing
+// a non-pointer value escapes it to the heap.
+func (c *checker) boxingCheck(call *ast.CallExpr) {
+	callee := typeutilCallee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if pkg := callee.Pkg(); pkg != nil && denyPkgs[pkg.Path()] {
+		return // the call itself was already flagged; don't pile on per argument
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pt := params.At(pi).Type()
+		if sig.Variadic() && pi == params.Len()-1 {
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := c.pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if types.IsInterface(at.Type) || isPointerLike(at.Type) || at.Value != nil {
+			continue // already boxed, pointer-shaped, or a constant the compiler can intern
+		}
+		c.report(arg.Pos(), "argument boxed into interface parameter %s", params.At(pi).Name())
+	}
+}
+
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Slice:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// typeutilCallee resolves the static *types.Func a call targets, or nil
+// for dynamic calls (the x/tools typeutil.StaticCallee equivalent).
+func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // qualified identifier pkg.F
+		}
+	}
+	return nil
+}

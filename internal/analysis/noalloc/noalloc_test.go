@@ -1,0 +1,11 @@
+package noalloc
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestNoalloc(t *testing.T) {
+	atest.Run(t, Analyzer, "c")
+}

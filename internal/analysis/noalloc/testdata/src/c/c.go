@@ -1,0 +1,99 @@
+// Fixture for noalloc: every allocating construct inside a
+// //boolq:noalloc body is flagged, with //boolq:allowalloc line escapes
+// and the panic-path exemption as the sanctioned outs.
+package c
+
+import "fmt"
+
+type scratch struct {
+	buf []float64
+}
+
+// grow is the amortized cold-growth idiom: allowed explicitly, once,
+// with a reason.
+//
+//boolq:noalloc
+func (s *scratch) grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = append(s.buf, make([]float64, n-len(s.buf))...) //boolq:allowalloc one-time scratch growth
+	}
+	s.buf = s.buf[:n]
+}
+
+// eval is the near miss: indexed writes into caller-owned scratch, a
+// checked same-package callee, and a panic path that formats — all
+// clean.
+//
+//boolq:noalloc
+func eval(s *scratch, xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(fmt.Sprintf("eval: empty input %d", len(xs)))
+	}
+	s.grow(len(xs))
+	acc := 0.0
+	for i, x := range xs {
+		s.buf[i] = x
+		acc += x
+	}
+	return acc
+}
+
+//boolq:noalloc
+func badMake(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//boolq:noalloc
+func badAppend(xs []int, x int) []int {
+	return append(xs, x) // want `append may grow its backing array`
+}
+
+//boolq:noalloc
+func badLiteral() scratch {
+	return scratch{buf: nil} // want `composite literal allocates`
+}
+
+//boolq:noalloc
+func badClosure(n int) func() int {
+	return func() int { return n } // want `function literal allocates a closure`
+}
+
+//boolq:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//boolq:noalloc
+func badFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `call into fmt allocates`
+}
+
+func helper(s *scratch) {}
+
+//boolq:noalloc
+func badCallee(s *scratch) {
+	helper(s) // want `call to helper, which is not //boolq:noalloc`
+}
+
+//boolq:noalloc
+func sink(v any) {}
+
+//boolq:noalloc
+func badBoxing(x int) {
+	sink(x) // want `argument boxed into interface parameter v`
+}
+
+//boolq:noalloc
+func goodPointerArg(s *scratch) {
+	sink(s) // pointers don't box a copy onto the heap
+}
+
+//boolq:noalloc
+func badConversion(b []byte) string {
+	return string(b) // want `string/slice conversion copies`
+}
+
+// Unannotated functions may allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,124 @@
+// Fixture for walcheck: a //boolq:mutation entry point must log to the
+// WAL under the write lock, after the epoch bump, with the error used,
+// and must reach a //boolq:statsink call.
+package d
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct{ n int }
+
+//boolq:statsink
+func (st *stats) Add(n int) { st.n += n }
+
+//boolq:statsink
+func (st *stats) Remove(n int) { st.n -= n }
+
+type store struct {
+	mu    sync.RWMutex
+	epoch atomic.Uint64
+	data  *stats
+	objs  map[int]int
+}
+
+func (s *store) logMutation(op int) error { return nil }
+
+// GoodInsert is the shape every mutation should have.
+//
+//boolq:mutation
+func (s *store) GoodInsert(k, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[k] = v
+	s.data.Add(1)
+	s.epoch.Add(1)
+	return s.logMutation(k)
+}
+
+//boolq:mutation
+func (s *store) BadNoLog(k, v int) { // want `BadNoLog never calls logMutation`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[k] = v
+	s.data.Add(1)
+	s.epoch.Add(1)
+}
+
+//boolq:mutation
+func (s *store) BadDropError(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data.Add(1)
+	s.epoch.Add(1)
+	_ = s.logMutation(k) // want `logMutation error discarded`
+}
+
+//boolq:mutation
+func (s *store) BadOutsideLock(k int) error {
+	s.mu.Lock()
+	s.data.Add(1)
+	s.epoch.Add(1)
+	s.mu.Unlock()
+	return s.logMutation(k) // want `logMutation called without holding a write lock`
+}
+
+//boolq:mutation
+func (s *store) BadBeforeEpoch(k int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data.Add(1)
+	err := s.logMutation(k) // want `logMutation called before the epoch bump`
+	s.epoch.Add(1)
+	return err
+}
+
+//boolq:mutation
+func (s *store) BadNoStats(k, v int) error { // want `BadNoStats never reaches a //boolq:statsink call`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[k] = v
+	s.epoch.Add(1)
+	return s.logMutation(k)
+}
+
+// GoodCreate is the near miss: nostats waives the stats rule for
+// mutations with no per-object statistics to touch.
+//
+//boolq:mutation nostats
+func (s *store) GoodCreate(k int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch.Add(1)
+	return s.logMutation(k)
+}
+
+// GoodViaHelper reaches the sink through a same-package helper, and
+// its log call sits in an if-init — both shapes the real store uses.
+//
+//boolq:mutation
+func (s *store) GoodViaHelper(k, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commit(k, v)
+	s.epoch.Add(1)
+	if err := s.logMutation(k); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *store) commit(k, v int) {
+	s.objs[k] = v
+	s.data.Add(1)
+}
+
+// Replay entry points are deliberately unannotated: relogging during
+// recovery would duplicate the WAL tail.
+func (s *store) ApplyMutation(k, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[k] = v
+	s.data.Add(1)
+}

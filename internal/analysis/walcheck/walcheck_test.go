@@ -1,0 +1,11 @@
+package walcheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestWalcheck(t *testing.T) {
+	atest.Run(t, Analyzer, "d")
+}

@@ -75,10 +75,14 @@ func Rect(x0, y0, x1, y1 float64) Box {
 // (usually nil) Lo slice: the in-place operations (MeetInto and friends)
 // mark a destination empty by truncating its Lo/Hi to length 0, which
 // keeps the backing arrays available for reuse.
+//
+//boolq:noalloc
 func (b Box) IsEmpty() bool { return len(b.Lo) == 0 }
 
 // IsUniv reports whether b is Univ(b.K), i.e. unbounded in every
 // dimension. Unlike Equal(Univ(k)) it allocates nothing.
+//
+//boolq:noalloc
 func (b Box) IsUniv() bool {
 	if b.IsEmpty() {
 		return false
@@ -131,6 +135,8 @@ func (b Box) Join(c Box) Box {
 
 // Contains reports b ⊒ c, i.e. c ⊑ b. The empty box is contained in every
 // box.
+//
+//boolq:noalloc
 func (b Box) Contains(c Box) bool {
 	b.checkDim(c)
 	if c.IsEmpty() {
@@ -148,6 +154,8 @@ func (b Box) Contains(c Box) bool {
 }
 
 // Overlaps reports b ⊓ c ≠ ∅ without materializing the meet.
+//
+//boolq:noalloc
 func (b Box) Overlaps(c Box) bool {
 	b.checkDim(c)
 	if b.IsEmpty() || c.IsEmpty() {
@@ -230,6 +238,7 @@ func (b Box) Enlarge(c Box) float64 {
 	return b.Join(c).Volume() - b.Volume()
 }
 
+//boolq:noalloc
 func (b Box) checkDim(c Box) {
 	if b.K != c.K {
 		panic(fmt.Sprintf("bbox: dimension mismatch %d vs %d", b.K, c.K))
@@ -246,15 +255,19 @@ func (b Box) checkDim(c Box) {
 
 // ensureLen returns s resized to length k, reusing its backing array when
 // the capacity allows.
+//
+//boolq:noalloc
 func ensureLen(s []float64, k int) []float64 {
 	if cap(s) >= k {
 		return s[:k]
 	}
-	return make([]float64, k)
+	return make([]float64, k) //boolq:allowalloc grow-once: a warm destination never takes this branch
 }
 
 // SetEmpty makes dst the empty box in k dimensions, keeping its backing
 // arrays for reuse.
+//
+//boolq:noalloc
 func (dst *Box) SetEmpty(k int) {
 	dst.K = k
 	if dst.Lo != nil {
@@ -264,6 +277,8 @@ func (dst *Box) SetEmpty(k int) {
 
 // SetUniv makes dst the universe box in k dimensions, reusing its backing
 // arrays when possible.
+//
+//boolq:noalloc
 func (dst *Box) SetUniv(k int) {
 	dst.K = k
 	dst.Lo, dst.Hi = ensureLen(dst.Lo, k), ensureLen(dst.Hi, k)
@@ -273,6 +288,8 @@ func (dst *Box) SetUniv(k int) {
 }
 
 // CopyInto copies b into dst, reusing dst's backing arrays when possible.
+//
+//boolq:noalloc
 func (b Box) CopyInto(dst *Box) {
 	if b.IsEmpty() {
 		dst.SetEmpty(b.K)
@@ -286,6 +303,8 @@ func (b Box) CopyInto(dst *Box) {
 
 // MeetInto stores b ⊓ c into dst without allocating (after dst's arrays
 // have grown to dimension K once). dst may alias b or c.
+//
+//boolq:noalloc
 func (b Box) MeetInto(c Box, dst *Box) {
 	b.checkDim(c)
 	if b.IsEmpty() || c.IsEmpty() {
@@ -307,6 +326,8 @@ func (b Box) MeetInto(c Box, dst *Box) {
 
 // JoinInto stores b ⊔ c into dst without allocating (after dst's arrays
 // have grown to dimension K once). dst may alias b or c.
+//
+//boolq:noalloc
 func (b Box) JoinInto(c Box, dst *Box) {
 	b.checkDim(c)
 	if b.IsEmpty() {

@@ -105,12 +105,14 @@ type Scratch struct {
 }
 
 // grow makes room for a stack of depth n.
+//
+//boolq:noalloc
 func (s *Scratch) grow(n int) {
 	if len(s.vals) >= n {
 		return
 	}
-	s.vals = append(s.vals, make([]Box, n-len(s.vals))...)
-	s.slots = append(s.slots, make([]Box, n-len(s.slots))...)
+	s.vals = append(s.vals, make([]Box, n-len(s.vals))...)    //boolq:allowalloc grow-once: a warm Scratch skips the whole branch
+	s.slots = append(s.slots, make([]Box, n-len(s.slots))...) //boolq:allowalloc grow-once: a warm Scratch skips the whole branch
 }
 
 // Eval evaluates the program in k dimensions with env supplying the
@@ -120,13 +122,15 @@ func (s *Scratch) grow(n int) {
 // valid until the next Eval with the same Scratch, and callers that retain
 // it must CopyInto a box they own. Unbound variables panic, as in
 // Func.Eval.
+//
+//boolq:noalloc
 func (p *Program) Eval(k int, env []Box, scr *Scratch) Box {
 	scr.grow(p.maxStack)
 	sp := 0
 	for _, op := range p.ops {
 		switch op.code {
 		case progEmpty:
-			scr.vals[sp] = Box{K: k}
+			scr.vals[sp] = Box{K: k} //boolq:allowalloc value literal with nil slices, written into the existing stack slot
 			sp++
 		case progUniv:
 			scr.slots[sp].SetUniv(k)

@@ -21,6 +21,8 @@ func AllSpec(k int) RangeSpec {
 }
 
 // Matches reports whether box x satisfies the spec.
+//
+//boolq:noalloc
 func (s RangeSpec) Matches(x Box) bool {
 	if !x.Contains(s.Lower) {
 		return false
@@ -39,6 +41,8 @@ func (s RangeSpec) Matches(x Box) bool {
 // Unsatisfiable reports a cheap static check: the spec can match no box at
 // all (e.g. required lower bound outside the upper bound, or an overlap
 // witness that is empty).
+//
+//boolq:noalloc
 func (s RangeSpec) Unsatisfiable() bool {
 	if !s.Upper.Contains(s.Lower) {
 		return true

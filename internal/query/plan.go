@@ -112,13 +112,15 @@ type specScratch struct {
 // only until the next SpecInto with the same scratch — exactly the
 // executor's use: build the spec, run the index search, drop it. Plans
 // built without Compile (no programs) fall back to the tree-walking Spec.
+//
+//boolq:noalloc
 func (sp StepBoxPlan) SpecInto(k int, envBox []bbox.Box, scr *specScratch) (bbox.RangeSpec, bool) {
 	if sp.lower == nil {
-		return sp.Spec(k, envBox)
+		return sp.Spec(k, envBox) //boolq:allowalloc uncompiled-plan fallback; compiled plans never reach it
 	}
 	sp.lower.Eval(k, envBox, &scr.eval).CopyInto(&scr.lower)
 	sp.upper.Eval(k, envBox, &scr.eval).CopyInto(&scr.upper)
-	spec := bbox.RangeSpec{K: k, Lower: scr.lower, Upper: scr.upper}
+	spec := bbox.RangeSpec{K: k, Lower: scr.lower, Upper: scr.upper} //boolq:allowalloc value literal aliasing scratch boxes; stays on the stack
 	n := 0
 	for _, d := range sp.Diseqs {
 		if !d.q.Eval(k, envBox, &scr.eval).IsEmpty() {
@@ -126,13 +128,13 @@ func (sp StepBoxPlan) SpecInto(k int, envBox []bbox.Box, scr *specScratch) (bbox
 		}
 		p := d.p.Eval(k, envBox, &scr.eval)
 		if p.IsEmpty() {
-			return bbox.RangeSpec{}, false // no branch can witness it
+			return bbox.RangeSpec{}, false //boolq:allowalloc zero-value literal with nil slices; stays on the stack
 		}
 		if p.IsUniv() {
 			continue // overlaps-universe holds for every stored object
 		}
 		if n == len(scr.overlaps) {
-			scr.overlaps = append(scr.overlaps, bbox.Box{})
+			scr.overlaps = append(scr.overlaps, bbox.Box{}) //boolq:allowalloc grow-once: a warm scratch already holds a slot per witness
 		}
 		p.CopyInto(&scr.overlaps[n])
 		n++
@@ -141,7 +143,7 @@ func (sp StepBoxPlan) SpecInto(k int, envBox []bbox.Box, scr *specScratch) (bbox
 		spec.Overlaps = scr.overlaps[:n]
 	}
 	if spec.Unsatisfiable() {
-		return bbox.RangeSpec{}, false
+		return bbox.RangeSpec{}, false //boolq:allowalloc zero-value literal with nil slices; stays on the stack
 	}
 	return spec, true
 }

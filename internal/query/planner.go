@@ -157,6 +157,13 @@ func SuggestOrderSampled(q *Query, store *spatialdb.Store, params map[string]*re
 // stays cheap on large layers.
 const sampleCap = 4
 
+// sampleScanCap bounds how many candidates one sampling range query may
+// visit. Estimation runs at plan time under the store's read guard with
+// no execCtl to poll, so the scan must be finite by construction — an
+// unbounded Search over a huge layer would pin the guard and stall
+// writers for the whole scan.
+const sampleScanCap = 1024
+
 func estimateCost(q *Query, store *spatialdb.Store, alg *region.Algebra, baseEnv []boolalg.Element) (float64, error) {
 	plan, err := Compile(q, store)
 	if err != nil {
@@ -198,7 +205,13 @@ func estimateCost(q *Query, store *spatialdb.Store, alg *region.Algebra, baseEnv
 			if !ok {
 				continue
 			}
+			scanned := 0
+			//lint:ignore ctxpoll bounded by sampleScanCap candidates per prefix; plan-time estimation has no execCtl to poll
 			layers[i].Search(spec, func(o spatialdb.Object) bool {
+				scanned++
+				if scanned > sampleScanCap {
+					return false
+				}
 				if !step.Satisfied(alg, pre.env, o.Reg) {
 					return true
 				}

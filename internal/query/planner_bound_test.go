@@ -1,0 +1,59 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+)
+
+// TestEstimateCostScanBounded pins the sampleScanCap bound on plan-time
+// sampling: estimateCost runs under the store's read guard with no
+// execCtl to poll, so its per-prefix range scans must be finite by
+// construction. Below the cap the estimate tracks the layer exactly;
+// beyond it, growing the layer must not change what one prefix scans.
+func TestEstimateCostScanBounded(t *testing.T) {
+	universe := bbox.Rect(0, 0, 1e6, 1e6)
+	costFor := func(n int) float64 {
+		t.Helper()
+		store := spatialdb.NewStore(universe, spatialdb.RTree)
+		for i := 0; i < n; i++ {
+			x := float64(i)
+			r := region.FromBox(bbox.Rect(x, 0, x+0.5, 1))
+			if _, err := store.Insert("objs", fmt.Sprintf("o%d", i), r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := New()
+		x, c := q.Sys.Var("x"), q.Sys.Var("C")
+		q.Sys.Subset(x, c)
+		q.From("x", "objs")
+		alg := region.NewAlgebra(universe)
+		baseEnv, err := bindParams(q, alg, map[string]*region.Region{"C": region.FromBox(universe)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := estimateCost(q, store, alg, baseEnv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost
+	}
+
+	// Under the cap every matching object is counted.
+	if got := costFor(100); got != 100 {
+		t.Errorf("cost for 100 objects = %v, want 100", got)
+	}
+	// Over the cap the scan stops: a bigger layer costs the same.
+	a := costFor(sampleScanCap + 200)
+	b := costFor(sampleScanCap + 900)
+	if a != b {
+		t.Errorf("estimate not scan-bounded: cost(%d)=%v vs cost(%d)=%v",
+			sampleScanCap+200, a, sampleScanCap+900, b)
+	}
+	if a > float64(sampleScanCap) {
+		t.Errorf("cost %v exceeds sampleScanCap %d", a, sampleScanCap)
+	}
+}

@@ -86,6 +86,8 @@ func (r *Region) BoundingBox() bbox.Box {
 
 // positiveVolume reports whether b has strictly positive volume (nonempty
 // interior).
+//
+//boolq:noalloc
 func positiveVolume(b bbox.Box) bool {
 	if b.IsEmpty() {
 		return false
@@ -108,6 +110,8 @@ func subtractBox(a, b bbox.Box) []bbox.Box {
 // it — the executor-facing form of subtractBox, allocating only for the
 // emitted slabs (and, for a untouched by b, not even that: a itself is
 // appended). The per-call working bounds live on the stack for k ≤ 4.
+//
+//boolq:noalloc
 func appendSubtractBox(dst []bbox.Box, a, b bbox.Box) []bbox.Box {
 	if !positiveVolume(a) {
 		return dst
@@ -123,7 +127,7 @@ func appendSubtractBox(dst []bbox.Box, a, b bbox.Box) []bbox.Box {
 		}
 	}
 	if !overlap {
-		return append(dst, a)
+		return append(dst, a) //boolq:allowalloc emitted result: dst is the caller's reusable buffer
 	}
 	// cur tracks the shrinking remainder of a; stack-allocated up to 4-D.
 	var loArr, hiArr [4]float64
@@ -131,7 +135,7 @@ func appendSubtractBox(dst []bbox.Box, a, b bbox.Box) []bbox.Box {
 	if a.K <= len(loArr) {
 		curLo, curHi = loArr[:a.K], hiArr[:a.K]
 	} else {
-		curLo, curHi = make([]float64, a.K), make([]float64, a.K)
+		curLo, curHi = make([]float64, a.K), make([]float64, a.K) //boolq:allowalloc k > 4 falls off the stack-array fast path
 	}
 	copy(curLo, a.Lo)
 	copy(curHi, a.Hi)
@@ -152,6 +156,8 @@ func appendSubtractBox(dst []bbox.Box, a, b bbox.Box) []bbox.Box {
 
 // appendSlab appends the box (curLo, curHi) with dimension i replaced by
 // [lo, hi], skipping degenerate slabs.
+//
+//boolq:noalloc
 func appendSlab(dst []bbox.Box, curLo, curHi []float64, i int, lo, hi float64) []bbox.Box {
 	if hi <= lo {
 		return dst
@@ -161,13 +167,13 @@ func appendSlab(dst []bbox.Box, curLo, curHi []float64, i int, lo, hi float64) [
 			return dst
 		}
 	}
-	slab := bbox.Box{
+	slab := bbox.Box{ //boolq:allowalloc emitted slab: the decomposition output the caller keeps
 		K:  len(curLo),
-		Lo: append([]float64(nil), curLo...),
-		Hi: append([]float64(nil), curHi...),
+		Lo: append([]float64(nil), curLo...), //boolq:allowalloc emitted slab owns its bounds
+		Hi: append([]float64(nil), curHi...), //boolq:allowalloc emitted slab owns its bounds
 	}
 	slab.Lo[i], slab.Hi[i] = lo, hi
-	return append(dst, slab)
+	return append(dst, slab) //boolq:allowalloc emitted result: dst is the caller's reusable buffer
 }
 
 func cloneBox(b bbox.Box) bbox.Box {

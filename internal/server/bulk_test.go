@@ -77,7 +77,7 @@ func TestBulkInsertNDJSON(t *testing.T) {
 			Name:  fmt.Sprintf("n%d", i),
 			Boxes: []jsonBox{{Lo: []float64{float64(i) * 10, 0}, Hi: []float64{float64(i)*10 + 5, 5}}},
 		})
-		sb.Write(line)
+		_, _ = sb.Write(line) // strings.Builder never returns an error
 		sb.WriteByte('\n')
 	}
 	w := rawRequest(s, http.MethodPost, "/layers/pts/objects:bulk", "application/x-ndjson", sb.String())

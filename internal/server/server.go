@@ -98,9 +98,10 @@ type Options struct {
 
 // Server is the boolqd HTTP service over one spatial store.
 type Server struct {
-	mu           sync.RWMutex // guards store and gen: POST /snapshot swaps them
-	store        *spatialdb.Store
-	gen          uint64 // store generation, bumped on every swap
+	mu    sync.RWMutex     // guards store and gen: POST /snapshot swaps them
+	store *spatialdb.Store //boolq:guardedby mu
+	// gen is the store generation, bumped on every swap.
+	gen          uint64 //boolq:guardedby mu
 	cache        *PlanCache
 	metrics      *Metrics
 	vars         *expvar.Map
@@ -210,7 +211,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // headers are out; nothing useful to do on error
 }
 
-// writeError writes a JSON error body.
+// writeError writes a JSON error body. Handlers must return immediately
+// after calling it: anything written afterwards lands inside or after a
+// committed error response.
+//
+//boolq:errwriter
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }

@@ -64,6 +64,8 @@ type BulkReport struct {
 // batch with a non-nil error and rolls the index back to its pre-batch
 // contents. In BulkBestEffort mode every insertable object is inserted,
 // failures are reported per object in the report, and the error is nil.
+//
+//boolq:mutation
 func (s *Store) BulkInsert(layer string, items []BulkItem, mode BulkMode) (BulkReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

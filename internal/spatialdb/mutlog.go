@@ -91,6 +91,8 @@ func (s *Store) SetMutationSink(fn func(*Mutation) error) {
 
 // logMutation hands m to the sink, if any. The caller must hold the
 // write lock.
+//
+//boolq:locked mu
 func (s *Store) logMutation(m *Mutation) error {
 	if s.sink == nil {
 		return nil

@@ -413,16 +413,18 @@ type Store struct {
 	universe bbox.Box
 	kind     IndexKind
 
-	mu       sync.RWMutex // guards layers, names, nextID, sink
-	epoch    atomic.Uint64
-	layers   map[string]*Layer
-	names    []string
-	nextID   int64
-	altKinds []IndexKind // alternate backends new layers are created with
+	mu     sync.RWMutex // guards layers, names, nextID, sink, altKinds
+	epoch  atomic.Uint64
+	layers map[string]*Layer //boolq:guardedby mu
+	names  []string          //boolq:guardedby mu
+	nextID int64             //boolq:guardedby mu
+
+	// altKinds holds the alternate backends new layers are created with.
+	altKinds []IndexKind //boolq:guardedby mu
 
 	// sink, when set, receives every mutation inside the critical section
 	// that applied it — the durable write path's hook point (mutlog.go).
-	sink func(*Mutation) error
+	sink func(*Mutation) error //boolq:guardedby mu
 }
 
 // NewStore returns an empty store; layers created through it use the given
@@ -476,6 +478,8 @@ func (s *Store) Layer(name string) *Layer {
 // HasLayer/Layer pair, so concurrent creators agree on who created it.
 // A non-nil error is always an ErrDurability: the layer exists in memory
 // but its creation record could not be logged.
+//
+//boolq:mutation nostats
 func (s *Store) CreateLayer(name string) (*Layer, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -492,6 +496,8 @@ func (s *Store) CreateLayer(name string) (*Layer, bool, error) {
 // other accessors it does not take the store lock: it is meant for use
 // under an explicit RLock (the query executors resolve their step layers
 // through it while holding the read guard).
+//
+//boolq:rlocked mu
 func (s *Store) LayerIfExists(name string) (*Layer, bool) {
 	l, ok := s.layers[name]
 	return l, ok
@@ -572,6 +578,8 @@ func containsKind(ks []IndexKind, k IndexKind) bool {
 // safe for concurrent use; the epoch is bumped after the object is in
 // place. An ErrDurability means the object was inserted (and is
 // returned) but its record could not be logged.
+//
+//boolq:mutation
 func (s *Store) Insert(layer, name string, r *region.Region) (Object, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -592,6 +600,8 @@ func (s *Store) Insert(layer, name string, r *region.Region) (Object, error) {
 // never leave duplicates and concurrent readers never observe the name
 // missing. The region is validated first — a failed upsert leaves the
 // old object untouched.
+//
+//boolq:mutation
 func (s *Store) Upsert(layer, name string, r *region.Region) (Object, bool, error) {
 	if r.IsEmpty() {
 		return Object{}, false, fmt.Errorf("spatialdb: object %q has an empty region", name)
@@ -624,6 +634,8 @@ func (s *Store) Upsert(layer, name string, r *region.Region) (Object, bool, erro
 
 // Remove deletes the named object from a layer. It reports whether an
 // object with that name existed; removal bumps the epoch.
+//
+//boolq:mutation
 func (s *Store) Remove(layer, name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -299,6 +299,8 @@ func (s *Layer) Grid() *Grid { return &s.grid }
 // Add records one stored box. Empty boxes are counted but contribute no
 // edge mass (a layer object always has a nonempty bounding box in
 // practice).
+//
+//boolq:statsink
 func (s *Layer) Add(b bbox.Box) {
 	s.count++
 	if b.IsEmpty() || b.K != s.k {
@@ -314,6 +316,8 @@ func (s *Layer) Add(b bbox.Box) {
 }
 
 // Remove un-records a box previously passed to Add.
+//
+//boolq:statsink
 func (s *Layer) Remove(b bbox.Box) {
 	if s.count == 0 {
 		return

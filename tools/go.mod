@@ -1,0 +1,14 @@
+// Nested module pinning the ecosystem analyzers CI's non-blocking job
+// runs (staticcheck, govulncheck). Keeping them out of the root module
+// keeps the engine dependency-free and buildable offline; `go install`
+// run inside this directory resolves each tool at the version below.
+// CI runs `go mod tidy` first, so go.sum is generated there rather than
+// committed.
+module repro/tools
+
+go 1.24
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

@@ -1,0 +1,12 @@
+//go:build tools
+
+// Package tools records the ecosystem analyzer commands as imports so
+// `go mod tidy` keeps their modules (and pinned versions) in go.mod.
+// The build tag keeps the package out of every real build; the nested
+// module keeps the dependencies out of the engine entirely.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
