@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: build test race bench vet lint lint-fix golden golden-update
+.PHONY: build test race bench vet lint lint-fix golden golden-update chaos
 
 build:
 	go build ./...
@@ -44,3 +44,13 @@ golden:
 
 golden-update:
 	go test ./internal/golden -run TestCorpus -update -count=1
+
+# chaos runs the seeded fault-injection property suite under -race:
+# random mutate/query/checkpoint workloads against the vfs fault
+# injector across all five backends, plus the HTTP degraded-mode and
+# admission-control (429/503) contract tests. Blocking in CI; see
+# DESIGN.md §9.
+chaos:
+	go test -race -count=1 \
+		-run 'Chaos|ServerTransient|ServerDegraded|ServerSheds|ServerBatchSheds|AdmissionPool|Fault|WriteBudget' \
+		./internal/wal/ ./internal/server/ ./internal/vfs/

@@ -100,6 +100,13 @@ func run() error {
 			"how often the background checkpointer considers writing a snapshot")
 		ckptBytes = flag.Int64("checkpoint-bytes", 0,
 			"WAL bytes since the last snapshot that trigger a checkpoint (0: the segment size)")
+		walRetryMax = flag.Int("wal-retry-max", wal.DefaultRetryMax,
+			"in-line retries (with backoff) of a failed WAL append before the store degrades to read-only (negative: no retries)")
+
+		maxInflight = flag.Int("max-inflight", 0,
+			"admission control: max concurrently admitted requests per pool (reads and mutations each get this many slots); 0: unbounded")
+		shedQueue = flag.Int("shed-queue", 0,
+			"admission control: waiters allowed per pool beyond -max-inflight before arrivals are shed with 429 (0: shed as soon as the pool is full)")
 	)
 	flag.Parse()
 
@@ -154,7 +161,7 @@ func run() error {
 			SegmentBytes: *walSegment,
 			Policy:       policy,
 			Interval:     *fsyncInterval,
-		}, *ckptInterval, *ckptBytes, *snapshot, *universe, *demo, *seed, *scale)
+		}, *ckptInterval, *ckptBytes, *walRetryMax, *snapshot, *universe, *demo, *seed, *scale)
 		if err != nil {
 			return err
 		}
@@ -178,7 +185,11 @@ func run() error {
 	srv := server.New(store, server.Options{
 		CacheSize: *cacheSize, Workers: *workers, BatchWorkers: *batchWork,
 		QueryTimeout: *queryTimeout, Durable: db, StaticPlan: staticPlan,
+		MaxInflight: *maxInflight, ShedQueue: *shedQueue,
 	})
+	if *maxInflight > 0 {
+		log.Printf("admission control: %d in-flight per pool, queue depth %d", *maxInflight, *shedQueue)
+	}
 	handler.Set(srv.Handler())
 	log.Print("serving")
 
@@ -243,7 +254,7 @@ func bootstrapHandler() http.Handler {
 // are logged like any other write. A directory that already holds state
 // ignores the seed flags — its own contents win.
 func openDurable(dataDir string, kind spatialdb.IndexKind, logOpts wal.Options,
-	ckptInterval time.Duration, ckptBytes int64,
+	ckptInterval time.Duration, ckptBytes int64, retryMax int,
 	snapshot, universe string, demo bool, seed uint64, scale int) (*wal.DB, error) {
 
 	// Resolve the universe a fresh store starts with (a recovered
@@ -279,6 +290,7 @@ func openDurable(dataDir string, kind spatialdb.IndexKind, logOpts wal.Options,
 	db, err := wal.OpenDB(dataDir, wal.DBOptions{
 		Log: logOpts, Kind: kind, Universe: u,
 		CheckpointInterval: ckptInterval, CheckpointBytes: ckptBytes,
+		RetryMax: retryMax,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
-// Fixture for walcheck: a //boolq:mutation entry point must log to the
-// WAL under the write lock, after the epoch bump, with the error used,
-// and must reach a //boolq:statsink call.
+// Fixture for walcheck: a //boolq:mutation entry point must pass the
+// degraded-mode admission gate, log to the WAL under the write lock,
+// after the epoch bump, with the error used, must reach a
+// //boolq:statsink call, and must never invoke the raw sink directly.
 package d
 
 import (
@@ -21,9 +22,12 @@ type store struct {
 	epoch atomic.Uint64
 	data  *stats
 	objs  map[int]int
+	sink  func(int) error
 }
 
 func (s *store) logMutation(op int) error { return nil }
+
+func (s *store) admitMutationLocked() error { return nil }
 
 // GoodInsert is the shape every mutation should have.
 //
@@ -31,6 +35,9 @@ func (s *store) logMutation(op int) error { return nil }
 func (s *store) GoodInsert(k, v int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.admitMutationLocked(); err != nil {
+		return err
+	}
 	s.objs[k] = v
 	s.data.Add(1)
 	s.epoch.Add(1)
@@ -41,6 +48,7 @@ func (s *store) GoodInsert(k, v int) error {
 func (s *store) BadNoLog(k, v int) { // want `BadNoLog never calls logMutation`
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.admitMutationLocked()
 	s.objs[k] = v
 	s.data.Add(1)
 	s.epoch.Add(1)
@@ -50,6 +58,7 @@ func (s *store) BadNoLog(k, v int) { // want `BadNoLog never calls logMutation`
 func (s *store) BadDropError(k int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.admitMutationLocked()
 	s.data.Add(1)
 	s.epoch.Add(1)
 	_ = s.logMutation(k) // want `logMutation error discarded`
@@ -58,6 +67,7 @@ func (s *store) BadDropError(k int) {
 //boolq:mutation
 func (s *store) BadOutsideLock(k int) error {
 	s.mu.Lock()
+	_ = s.admitMutationLocked()
 	s.data.Add(1)
 	s.epoch.Add(1)
 	s.mu.Unlock()
@@ -68,6 +78,7 @@ func (s *store) BadOutsideLock(k int) error {
 func (s *store) BadBeforeEpoch(k int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.admitMutationLocked()
 	s.data.Add(1)
 	err := s.logMutation(k) // want `logMutation called before the epoch bump`
 	s.epoch.Add(1)
@@ -78,9 +89,60 @@ func (s *store) BadBeforeEpoch(k int) error {
 func (s *store) BadNoStats(k, v int) error { // want `BadNoStats never reaches a //boolq:statsink call`
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.admitMutationLocked()
 	s.objs[k] = v
 	s.epoch.Add(1)
 	return s.logMutation(k)
+}
+
+// BadNoGuard applies and logs without ever consulting the degraded
+// gate: while the WAL is being repaired, this path would keep mutating
+// memory the log cannot capture.
+//
+//boolq:mutation
+func (s *store) BadNoGuard(k, v int) error { // want `BadNoGuard never calls admitMutationLocked`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[k] = v
+	s.data.Add(1)
+	s.epoch.Add(1)
+	return s.logMutation(k)
+}
+
+// BadGuardAfterLog checks the gate only after the record is already
+// appended — too late for a degraded store to reject the mutation.
+//
+//boolq:mutation
+func (s *store) BadGuardAfterLog(k, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[k] = v
+	s.data.Add(1)
+	s.epoch.Add(1)
+	err := s.logMutation(k) // want `logMutation called before the admitMutationLocked gate`
+	if err == nil {
+		err = s.admitMutationLocked()
+	}
+	return err
+}
+
+// BadDirectSink bypasses logMutation's wrapper, so a sink failure
+// surfaces as raw ErrDurability instead of entering retry/degrade.
+//
+//boolq:mutation
+func (s *store) BadDirectSink(k, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.admitMutationLocked(); err != nil {
+		return err
+	}
+	s.objs[k] = v
+	s.data.Add(1)
+	s.epoch.Add(1)
+	if err := s.logMutation(k); err != nil {
+		return err
+	}
+	return s.sink(k) // want `mutation sink sink invoked directly`
 }
 
 // GoodCreate is the near miss: nostats waives the stats rule for
@@ -90,6 +152,9 @@ func (s *store) BadNoStats(k, v int) error { // want `BadNoStats never reaches a
 func (s *store) GoodCreate(k int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.admitMutationLocked(); err != nil {
+		return err
+	}
 	s.epoch.Add(1)
 	return s.logMutation(k)
 }
@@ -101,6 +166,9 @@ func (s *store) GoodCreate(k int) error {
 func (s *store) GoodViaHelper(k, v int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.admitMutationLocked(); err != nil {
+		return err
+	}
 	s.commit(k, v)
 	s.epoch.Add(1)
 	if err := s.logMutation(k); err != nil {
@@ -115,7 +183,9 @@ func (s *store) commit(k, v int) {
 }
 
 // Replay entry points are deliberately unannotated: relogging during
-// recovery would duplicate the WAL tail.
+// recovery would duplicate the WAL tail. The sink ban and the guard
+// rule do not apply here either — replay happens while the normal
+// mutation path is closed.
 func (s *store) ApplyMutation(k, v int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -12,7 +12,14 @@
 //  5. reach statistics maintenance — a call to a //boolq:statsink
 //     function (internal/stats Add/Remove), directly or through
 //     same-package helpers — unless annotated `//boolq:mutation
-//     nostats` (layer creation has no per-object stats to touch).
+//     nostats` (layer creation has no per-object stats to touch),
+//  6. pass the degraded-mode admission gate (default
+//     s.admitMutationLocked, PR 9) before the WAL call — a degraded
+//     store must reject the mutation before anything is applied, or
+//     memory diverges from the log during repair,
+//  7. never invoke the mutation sink field directly — the sink belongs
+//     to logMutation, whose wrapper is what routes failures through
+//     the retry/degrade machinery instead of raw ErrDurability.
 //
 // Replay paths (ApplyMutation) are deliberately not annotated: relogging
 // during recovery would duplicate the tail.
@@ -31,6 +38,13 @@ var flags = flag.NewFlagSet("walcheck", flag.ContinueOnError)
 
 // logFn is the method name that appends to the WAL sink.
 var logFn = flags.String("logfn", "logMutation", "method name of the WAL append")
+
+// guardFn is the degraded-mode admission gate every mutation must pass
+// before its WAL call.
+var guardFn = flags.String("guardfn", "admitMutationLocked", "method name of the degraded-mode admission gate")
+
+// sinkField is the mutation-sink field only logFn may invoke.
+var sinkField = flags.String("sinkfield", "sink", "field name of the raw mutation sink")
 
 // Analyzer is the walcheck analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -90,6 +104,7 @@ func checkMutation(pass *analysis.Pass, decls map[string][]*ast.FuncDecl, sinks 
 	var (
 		logCalls []logCall
 		epochPos = token.NoPos
+		guardPos = token.NoPos
 	)
 
 	// Walk with lock tracking so each WAL call knows the lock state at
@@ -103,6 +118,15 @@ func checkMutation(pass *analysis.Pass, decls map[string][]*ast.FuncDecl, sinks 
 			switch sel.Sel.Name {
 			case *logFn:
 				logCalls = append(logCalls, logCall{call: call, writeLocked: anyWriteHeld(st)})
+			case *guardFn:
+				if guardPos == token.NoPos || call.Pos() < guardPos {
+					guardPos = call.Pos()
+				}
+			case *sinkField:
+				// A direct s.sink(m) call bypasses logMutation's wrapper —
+				// the layer that turns raw sink failures into the
+				// retry/degrade protocol.
+				pass.Reportf(call.Pos(), "mutation sink %s invoked directly; route through %s so failures go through retry/degrade instead of raw ErrDurability", *sinkField, *logFn)
 			case "Add":
 				// epoch bump: <recv>.epoch.Add(1)
 				if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "epoch" {
@@ -122,7 +146,13 @@ func checkMutation(pass *analysis.Pass, decls map[string][]*ast.FuncDecl, sinks 
 		pass.Reportf(fn.Name.Pos(), "//boolq:mutation %s never calls %s: the mutation would not survive a crash", fn.Name.Name, *logFn)
 		return
 	}
+	if guardPos == token.NoPos {
+		pass.Reportf(fn.Name.Pos(), "//boolq:mutation %s never calls %s: a degraded store must reject the mutation before anything is applied", fn.Name.Name, *guardFn)
+	}
 	for _, lc := range logCalls {
+		if guardPos != token.NoPos && lc.call.Pos() < guardPos {
+			pass.Reportf(lc.call.Pos(), "%s called before the %s gate; degraded mode must be checked before the mutation is logged", *logFn, *guardFn)
+		}
 		if !lc.writeLocked {
 			pass.Reportf(lc.call.Pos(), "%s called without holding a write lock; WAL order may diverge from apply order", *logFn)
 		}

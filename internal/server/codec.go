@@ -145,6 +145,9 @@ type bulkResponse struct {
 	Failed   int         `json:"failed"`
 	Epoch    uint64      `json:"epoch"`
 	Errors   []bulkError `json:"errors,omitempty"`
+	// Error is the batch-level failure (durability loss, degraded mode) as
+	// opposed to the per-object Errors above.
+	Error string `json:"error,omitempty"`
 }
 
 // batchQueryRequest is the POST /query/batch body.
@@ -160,9 +163,12 @@ type batchQueryRequest struct {
 // batch. Lines are streamed in completion order, so clients must match
 // results by index, not by line number.
 type batchResultLine struct {
-	Index          int    `json:"index"`
-	Error          string `json:"error,omitempty"`
-	*queryResponse        // nil on error lines
+	Index int    `json:"index"`
+	Error string `json:"error,omitempty"`
+	// Shed marks an error line produced by admission control (the query
+	// never executed); the client may retry just this sub-query.
+	Shed           bool `json:"shed,omitempty"`
+	*queryResponse      // nil on error lines
 }
 
 // batchSummary is the final NDJSON line of a POST /query/batch reply.
@@ -170,6 +176,7 @@ type batchSummary struct {
 	Done      bool   `json:"done"`
 	Queries   int    `json:"queries"`
 	Errors    int    `json:"errors"`
+	Shed      int    `json:"shed,omitempty"` // errors that were admission sheds
 	Epoch     uint64 `json:"epoch"`
 	ElapsedUS int64  `json:"elapsed_us"`
 }
@@ -225,6 +232,42 @@ type statsResponse struct {
 	// WAL is present only in durable mode (-data-dir): the write-ahead
 	// log's position, checkpoint and fsync counters.
 	WAL *wal.DBStats `json:"wal,omitempty"`
+	// Degraded is present only in durable mode: the durability state
+	// machine — whether mutations are currently rejected, why, and how the
+	// retry/probe machinery has behaved over the server's lifetime.
+	Degraded *degradedStats `json:"degraded,omitempty"`
+	// Shed is present only with admission control on (-max-inflight): the
+	// read and mutate pools plus the lifetime shed total.
+	Shed *shedStats `json:"shed,omitempty"`
+}
+
+// degradedStats summarizes the durability state machine for /stats.
+type degradedStats struct {
+	Degraded    bool   `json:"degraded"`
+	ForMS       int64  `json:"for_ms,omitempty"` // time spent degraded so far
+	Cause       string `json:"cause,omitempty"`
+	Transitions int64  `json:"transitions"` // healthy→degraded entries, lifetime
+	Probes      int64  `json:"probes"`      // background recovery attempts
+	WALRetries  int64  `json:"wal_retries"` // in-line append retries
+	Rearms      int64  `json:"rearms"`      // successful log repairs
+}
+
+// shedPool snapshots one admission pool for /stats.
+type shedPool struct {
+	MaxInflight int   `json:"max_inflight"`
+	QueueDepth  int   `json:"queue_depth"`
+	InFlight    int   `json:"in_flight"`
+	Admitted    int64 `json:"admitted"`
+	Queued      int64 `json:"queued"`
+	ShedFull    int64 `json:"shed_queue_full"`
+	ShedWait    int64 `json:"shed_deadline"`
+}
+
+// shedStats is the admission-control section of /stats.
+type shedStats struct {
+	Reads     *shedPool `json:"reads,omitempty"`
+	Mutations *shedPool `json:"mutations,omitempty"`
+	Total     int64     `json:"total"` // all requests shed, both pools
 }
 
 // plannerStats describes the adaptive planner's activity: how plans were

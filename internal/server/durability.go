@@ -1,11 +1,15 @@
 // Durability endpoints. When boolqd runs with -data-dir the server is
 // constructed over a wal.DB (Options.Durable): every mutation handler's
 // store call appends a WAL record before acknowledging, /stats and
-// /debug/vars grow durability counters, and two endpoints appear:
+// /debug/vars grow durability counters, and two probe endpoints become
+// meaningful:
 //
-//	GET  /readyz      readiness — 200 once recovery completed (the
-//	                  bootstrap handler in cmd/boolqd answers 503 while
-//	                  recovery is still running)
+//	GET  /healthz     liveness + durability state — always 200 while the
+//	                  process serves, with "state" healthy|degraded
+//	GET  /readyz      readiness — 200 only when the store accepts
+//	                  mutations; 503 while degraded (and the bootstrap
+//	                  handler in cmd/boolqd answers 503 "recovering"
+//	                  while recovery is still running)
 //	POST /checkpoint  force a snapshot + WAL truncation now
 //
 // POST /snapshot is refused in durable mode: swapping the store out from
@@ -20,20 +24,68 @@ import (
 	"repro/internal/spatialdb"
 )
 
-// mutationStatus maps a mutation error to an HTTP status: a durability
-// failure (the WAL append failed; the client must not treat the write as
-// acknowledged) is a server-side 500, anything else is the caller's 400.
+// mutationStatus maps a mutation error to an HTTP status. Degraded
+// read-only mode (the WAL is down, a background probe is repairing it)
+// is 503 — retryable, expected to clear on its own; a plain durability
+// failure (the WAL append failed and the write must not be treated as
+// acknowledged) is a server-side 500; anything else is the caller's 400.
 func mutationStatus(err error) int {
-	if errors.Is(err, spatialdb.ErrDurability) {
+	switch {
+	case errors.Is(err, spatialdb.ErrDegraded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, spatialdb.ErrDurability):
 		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }
 
+// writeMutationError reports a failed mutation, attaching Retry-After
+// when the failure is the retryable degraded-mode rejection.
+//
+//boolq:errwriter
+func writeMutationError(w http.ResponseWriter, err error, format string, args ...any) {
+	status := mutationStatus(err)
+	if status == http.StatusServiceUnavailable {
+		writeRetryError(w, status, retryAfterDegraded, format, args...)
+		return
+	}
+	writeError(w, status, format, args...)
+}
+
+// durabilityState classifies the durable layer for the probe endpoints:
+// "healthy", "degraded", or "" when the server is not durable.
+func (s *Server) durabilityState() string {
+	if s.durable == nil {
+		return ""
+	}
+	if s.durable.Degraded() {
+		return "degraded"
+	}
+	return "healthy"
+}
+
+// handleHealth is GET /healthz: liveness plus durability state. It
+// always answers 200 while the process can serve at all — degraded
+// read-only mode is a state to report, not a reason to be restarted —
+// so orchestrators must key restarts on liveness and traffic on /readyz.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{"ok": true, "state": "healthy"}
+	if st := s.durabilityState(); st != "" {
+		resp["state"] = st
+		if st == "degraded" {
+			resp["degraded"] = true
+			resp["cause"] = s.durable.DegradeCause()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleReady is GET /readyz. The Server only exists after recovery
-// (OpenDB is synchronous), so a served request is always ready; the
-// interesting answer is the 503 the cmd/boolqd bootstrap handler gives
-// while recovery is still replaying the log.
+// (OpenDB is synchronous), so the bootstrap 503 ("recovering", answered
+// by cmd/boolqd before the swap) never reaches this handler. What can
+// still make a live server unready is degraded read-only mode: mutations
+// would 503, so readiness reports it distinctly — state "degraded" with
+// its cause — and load balancers can drain writes while reads continue.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{"ready": true, "durable": s.durable != nil}
 	if s.durable != nil {
@@ -41,6 +93,15 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		resp["replayed"] = st.Replayed
 		resp["recovery_ms"] = st.RecoveryMS
 		resp["applied_lsn"] = st.AppliedLSN
+		if st.Degraded {
+			resp["ready"] = false
+			resp["state"] = "degraded"
+			resp["cause"] = st.DegradeCause
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+		resp["state"] = "healthy"
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

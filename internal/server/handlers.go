@@ -64,11 +64,17 @@ func (s *Server) handleListLayers(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleCreateLayer(w http.ResponseWriter, r *http.Request) {
+	release, aerr := s.mutGate.acquire(r.Context())
+	if aerr != nil {
+		s.shedReject(w, aerr)
+		return
+	}
+	defer release()
 	store := s.Store()
 	name := r.PathValue("layer")
 	l, created, err := store.CreateLayer(name)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "creating layer %q: %v", name, err)
+		writeMutationError(w, err, "creating layer %q: %v", name, err)
 		return
 	}
 	store.RLock()
@@ -82,6 +88,12 @@ func (s *Server) handleCreateLayer(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
+	release, aerr := s.mutGate.acquire(r.Context())
+	if aerr != nil {
+		s.shedReject(w, aerr)
+		return
+	}
+	defer release()
 	store := s.Store()
 	layer, name := r.PathValue("layer"), r.PathValue("name")
 	var jr jsonRegion
@@ -109,7 +121,7 @@ func (s *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
 	}
 	o, replaced, err := store.Upsert(layer, name, reg)
 	if err != nil {
-		writeError(w, mutationStatus(err), "upserting %s/%s: %v", layer, name, err)
+		writeMutationError(w, err, "upserting %s/%s: %v", layer, name, err)
 		return
 	}
 	s.metrics.Inserts.Add(1)
@@ -142,11 +154,17 @@ func (s *Server) handleGetObject(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
+	release, aerr := s.mutGate.acquire(r.Context())
+	if aerr != nil {
+		s.shedReject(w, aerr)
+		return
+	}
+	defer release()
 	store := s.Store()
 	layer, name := r.PathValue("layer"), r.PathValue("name")
 	ok, err := store.Remove(layer, name)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "deleting %s/%s: %v", layer, name, err)
+		writeMutationError(w, err, "deleting %s/%s: %v", layer, name, err)
 		return
 	}
 	if !ok {
@@ -215,6 +233,14 @@ func (s *Server) countOutcome(ctx context.Context, st query.Stats) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Admission first: a shed request must cost nothing — not a body
+	// decode, and certainly never the store's read guard.
+	release, aerr := s.readGate.acquire(r.Context())
+	if aerr != nil {
+		s.shedReject(w, aerr)
+		return
+	}
+	defer release()
 	s.metrics.QueriesTotal.Add(1)
 	var req queryRequest
 	if decodeBody(w, r, &req) != nil {
@@ -518,9 +544,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	store := s.Store()
 	mt := s.metrics
 	var walStats *wal.DBStats
+	var degStats *degradedStats
 	if s.durable != nil {
 		st := s.durable.Stats()
 		walStats = &st
+		degStats = &degradedStats{
+			Degraded:    st.Degraded,
+			ForMS:       st.DegradedForMS,
+			Cause:       st.DegradeCause,
+			Transitions: st.DegradedEntered,
+			Probes:      st.Probes,
+			WALRetries:  st.WALRetries,
+			Rearms:      st.Log.Rearms,
+		}
+	}
+	var shed *shedStats
+	if s.readGate != nil || s.mutGate != nil {
+		shed = &shedStats{
+			Reads:     s.readGate.poolStats(),
+			Mutations: s.mutGate.poolStats(),
+			Total:     mt.Shed.Value(),
+		}
 	}
 	mode := "adaptive"
 	if s.staticPlan {
@@ -562,6 +606,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Snapshots: snapshotStats{Saves: mt.SnapshotSaves.Value(), Loads: mt.SnapshotLoads.Value()},
 		DB:        store.TotalStats(),
 		WAL:       walStats,
+		Degraded:  degStats,
+		Shed:      shed,
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,12 @@ func peekNonSpace(br *bufio.Reader) (byte, error) {
 }
 
 func (s *Server) handleBulkInsert(w http.ResponseWriter, r *http.Request) {
+	release, aerr := s.mutGate.acquire(r.Context())
+	if aerr != nil {
+		s.shedReject(w, aerr)
+		return
+	}
+	defer release()
 	store := s.Store()
 	layer := r.PathValue("layer")
 	mode, err := parseBulkMode(r.URL.Query().Get("mode"))
@@ -164,10 +171,21 @@ func (s *Server) handleBulkInsert(w http.ResponseWriter, r *http.Request) {
 	resp.Epoch = rep.Epoch
 	resp.Inserted = rep.Inserted
 	resp.Errors = collectErrs(rep)
+	if errors.Is(err, spatialdb.ErrDegraded) {
+		// Checked before ErrDurability: the mutation that *triggered*
+		// degradation matches both. Either way the batch must be retried
+		// once the store re-arms.
+		resp.Failed = len(objs) - rep.Inserted
+		resp.Error = err.Error()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDegraded))
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
 	if errors.Is(err, spatialdb.ErrDurability) {
 		// The batch (or part of it) is applied in memory but its WAL
 		// record was not acknowledged; the client must treat it as failed.
 		resp.Failed = len(objs) - rep.Inserted
+		resp.Error = err.Error()
 		writeJSON(w, http.StatusInternalServerError, resp)
 		return
 	}
@@ -230,7 +248,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
-	var errCount atomic.Int64
+	var errCount, shedCount atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for range conc {
@@ -248,7 +266,19 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				s.metrics.BatchQueries.Add(1)
+				// Each sub-query reserves its own read slot: a batch is just
+				// many queries, and under overload it sheds per query — the
+				// admitted remainder still runs — rather than all or nothing.
+				release, aerr := s.readGate.acquire(ctx)
+				if aerr != nil {
+					s.metrics.Shed.Add(1)
+					shedCount.Add(1)
+					errCount.Add(1)
+					writeLine(batchResultLine{Index: i, Error: aerr.Error(), Shed: true})
+					continue
+				}
 				resp, _, err := s.execQuery(ctx, store, gen, epoch, &req.Queries[i])
+				release()
 				if err != nil {
 					s.metrics.QueryErrors.Add(1)
 					errCount.Add(1)
@@ -264,6 +294,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		Done:      true,
 		Queries:   len(req.Queries),
 		Errors:    int(errCount.Load()),
+		Shed:      int(shedCount.Load()),
 		Epoch:     epoch,
 		ElapsedUS: time.Since(start).Microseconds(),
 	})

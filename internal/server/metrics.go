@@ -36,6 +36,7 @@ type Metrics struct {
 	BulkObjects       expvar.Int // objects inserted by bulk requests
 	BatchRequests     expvar.Int // POST /query/batch requests
 	BatchQueries      expvar.Int // individual queries run by batch requests
+	Shed              expvar.Int // requests rejected by admission control (429)
 }
 
 var publishOnce sync.Once
@@ -61,6 +62,7 @@ func (s *Server) expvarMap() *expvar.Map {
 	m.Set("bulk_objects", &mt.BulkObjects)
 	m.Set("batch_requests", &mt.BatchRequests)
 	m.Set("batch_queries", &mt.BatchQueries)
+	m.Set("shed_total", &mt.Shed)
 	m.Set("plan_adaptive_compiles", &mt.PlanAdaptive)
 	m.Set("plan_reordered", &mt.PlanReordered)
 	m.Set("plan_feedback_used", &mt.PlanFeedback)
@@ -75,11 +77,19 @@ func (s *Server) expvarMap() *expvar.Map {
 		m.Set("wal_applied_lsn", expvar.Func(func() any { return db.Stats().AppliedLSN }))
 		m.Set("wal_checkpoint_lsn", expvar.Func(func() any { return db.Stats().CheckpointLSN }))
 		m.Set("wal_checkpoints", expvar.Func(func() any { return db.Stats().Checkpoints }))
-		m.Set("wal_checkpoint_errors", expvar.Func(func() any { return db.Stats().CheckpointErr }))
+		m.Set("wal_checkpoint_failures", expvar.Func(func() any { return db.Stats().CheckpointErr }))
 		m.Set("wal_append_errors", expvar.Func(func() any { return db.Stats().SinkErrors }))
 		m.Set("wal_appends", expvar.Func(func() any { return db.Stats().Log.Appends }))
 		m.Set("wal_fsyncs", expvar.Func(func() any { return db.Stats().Log.Fsyncs }))
 		m.Set("wal_segments", expvar.Func(func() any { return db.Stats().Log.Segments }))
+		m.Set("wal_retries", expvar.Func(func() any { return db.Stats().WALRetries }))
+		m.Set("wal_rearms", expvar.Func(func() any { return db.Stats().Log.Rearms }))
+		m.Set("degraded", expvar.Func(func() any {
+			if db.Degraded() {
+				return 1
+			}
+			return 0
+		}))
 	}
 	return m
 }

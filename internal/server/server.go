@@ -55,6 +55,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -94,6 +95,19 @@ type Options struct {
 	// TunerSize caps how many distinct queries the feedback tuner tracks
 	// (≤ 0 means the query package default).
 	TunerSize int
+	// MaxInflight bounds concurrently admitted expensive requests: one
+	// pool of this many slots for plan-executing reads and a separate
+	// equal-sized pool for mutations (admission.go). ≤ 0 disables
+	// admission control entirely.
+	MaxInflight int
+	// ShedQueue is how many requests may wait for a slot per pool before
+	// further arrivals are shed with 429 (< 0 or 0: no queue — shed as
+	// soon as the pool is full). Only meaningful with MaxInflight > 0.
+	ShedQueue int
+	// MaxQueueWait caps how long a queued request waits for a slot
+	// (≤ 0: DefaultMaxQueueWait). The request's own deadline still
+	// applies, whichever comes first.
+	MaxQueueWait time.Duration
 }
 
 // Server is the boolqd HTTP service over one spatial store.
@@ -111,6 +125,8 @@ type Server struct {
 	durable      *wal.DB // nil unless running over a WAL data dir
 	staticPlan   bool
 	tuner        *query.Tuner // run-cost feedback for the adaptive planner
+	readGate     *admission   // plan-executing reads; nil: unbounded
+	mutGate      *admission   // mutations; nil: unbounded
 	mux          *http.ServeMux
 }
 
@@ -134,6 +150,8 @@ func New(store *spatialdb.Store, opts Options) *Server {
 		durable:      opts.Durable,
 		staticPlan:   opts.StaticPlan,
 		tuner:        query.NewTuner(opts.TunerSize),
+		readGate:     newAdmission(opts.MaxInflight, opts.ShedQueue, opts.MaxQueueWait),
+		mutGate:      newAdmission(opts.MaxInflight, opts.ShedQueue, opts.MaxQueueWait),
 	}
 	s.vars = s.expvarMap()
 	publishOnce.Do(func() { expvar.Publish("boolqd", s.vars) })
@@ -196,9 +214,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotLoad)
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 }
 
@@ -217,5 +233,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //
 //boolq:errwriter
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// Retry-After values, in seconds. Shed requests can come back as soon as
+// in-flight work drains; a degraded store needs its background probe to
+// succeed first, so it advertises a longer pause.
+const (
+	retryAfterShed     = 1
+	retryAfterDegraded = 5
+)
+
+// writeRetryError is writeError plus a Retry-After header — the 429/503
+// responses that tell a well-behaved client when to come back. The
+// header must be set before the status line goes out.
+//
+//boolq:errwriter
+func writeRetryError(w http.ResponseWriter, status, retryAfter int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }

@@ -70,6 +70,10 @@ func (s *Store) BulkInsert(layer string, items []BulkItem, mode BulkMode) (BulkR
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rep := BulkReport{Results: make([]BulkResult, len(items))}
+	if err := s.admitMutationLocked(); err != nil {
+		rep.Epoch = s.epoch.Load()
+		return rep, err
+	}
 	_, existed := s.layers[layer]
 
 	// Validate first: empty regions never reach the index.

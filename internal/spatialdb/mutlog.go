@@ -76,6 +76,41 @@ type Mutation struct {
 // until the next successful append or checkpoint.
 var ErrDurability = errors.New("spatialdb: mutation not durably logged")
 
+// ErrDegraded marks degraded read-only mode: the durable write path is
+// down and being repaired in the background, so mutations are rejected —
+// before touching memory — while reads keep serving. Callers should
+// surface it as 503 + Retry-After, distinct from ErrDurability's 500: the
+// condition is expected to clear without operator action. The sink wraps
+// ErrDegraded into the error of the mutation that triggered the
+// transition, so that one (which WAS applied in memory) matches both
+// ErrDurability and ErrDegraded.
+var ErrDegraded = errors.New("spatialdb: store is degraded to read-only")
+
+// SetDegraded flips the store's degraded read-only gate. The durable
+// write path (internal/wal) raises it when WAL retries are exhausted and
+// lowers it after its recovery probe has re-armed the log and
+// reconciled state; while raised, every mutating entry point fails with
+// ErrDegraded without applying anything, so no further memory/log
+// divergence accrues.
+func (s *Store) SetDegraded(on bool) { s.degraded.Store(on) }
+
+// Degraded reports whether the degraded read-only gate is raised.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// admitMutationLocked is the admission gate every mutating entry point
+// passes before changing state: while the store is degraded the mutation
+// is rejected up front, keeping memory and log convergent during repair.
+// The caller must hold the write lock (the gate must be ordered against
+// the SetDegraded(true) a failing sink call triggers under that lock).
+//
+//boolq:locked mu
+func (s *Store) admitMutationLocked() error {
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
+	return nil
+}
+
 // SetMutationSink installs fn as the store's mutation sink. fn is invoked
 // inside the mutating critical section (the store's write lock), after
 // the mutation has been applied and the epoch bumped, so the sink
@@ -98,7 +133,9 @@ func (s *Store) logMutation(m *Mutation) error {
 		return nil
 	}
 	if err := s.sink(m); err != nil {
-		return fmt.Errorf("%w: %v", ErrDurability, err)
+		// %w twice: a sink failure that degraded the store must keep
+		// matching ErrDegraded through the ErrDurability wrap.
+		return fmt.Errorf("%w: %w", ErrDurability, err)
 	}
 	return nil
 }

@@ -413,11 +413,12 @@ type Store struct {
 	universe bbox.Box
 	kind     IndexKind
 
-	mu     sync.RWMutex // guards layers, names, nextID, sink, altKinds
-	epoch  atomic.Uint64
-	layers map[string]*Layer //boolq:guardedby mu
-	names  []string          //boolq:guardedby mu
-	nextID int64             //boolq:guardedby mu
+	mu       sync.RWMutex // guards layers, names, nextID, sink, altKinds
+	epoch    atomic.Uint64
+	degraded atomic.Bool       // read-only gate; see SetDegraded (mutlog.go)
+	layers   map[string]*Layer //boolq:guardedby mu
+	names    []string          //boolq:guardedby mu
+	nextID   int64             //boolq:guardedby mu
 
 	// altKinds holds the alternate backends new layers are created with.
 	altKinds []IndexKind //boolq:guardedby mu
@@ -485,6 +486,9 @@ func (s *Store) CreateLayer(name string) (*Layer, bool, error) {
 	defer s.mu.Unlock()
 	if l, ok := s.layers[name]; ok {
 		return l, false, nil
+	}
+	if err := s.admitMutationLocked(); err != nil {
+		return nil, false, err
 	}
 	l := s.ensureLayerLocked(name)
 	s.epoch.Add(1)
@@ -583,6 +587,9 @@ func containsKind(ks []IndexKind, k IndexKind) bool {
 func (s *Store) Insert(layer, name string, r *region.Region) (Object, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.admitMutationLocked(); err != nil {
+		return Object{}, err
+	}
 	l := s.ensureLayerLocked(layer)
 	s.nextID++
 	o := Object{ID: s.nextID, Name: name, Reg: r, Box: r.BoundingBox()}
@@ -608,6 +615,9 @@ func (s *Store) Upsert(layer, name string, r *region.Region) (Object, bool, erro
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.admitMutationLocked(); err != nil {
+		return Object{}, false, err
+	}
 	l := s.ensureLayerLocked(layer)
 	replaced := false
 	var old Object
@@ -639,6 +649,9 @@ func (s *Store) Upsert(layer, name string, r *region.Region) (Object, bool, erro
 func (s *Store) Remove(layer, name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.admitMutationLocked(); err != nil {
+		return false, err
+	}
 	l, ok := s.layers[layer]
 	if !ok {
 		return false, nil

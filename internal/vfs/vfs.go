@@ -1,0 +1,98 @@
+// Package vfs abstracts the filesystem operations the durable write path
+// (internal/wal) performs, so every durability code path — segment
+// appends, fsyncs, rotations, snapshot temp+rename checkpoints, recovery
+// reads — can be exercised under injected faults (fault.go) exactly as it
+// runs against the real filesystem in production.
+//
+// The interface is deliberately small: it covers what a write-ahead log
+// and a snapshot checkpointer need, nothing more. OS is the default
+// implementation; Injector wraps any FS with programmable failpoints.
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+)
+
+// File is the subset of *os.File the WAL and checkpointer use.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Stat returns the file's metadata.
+	Stat() (os.FileInfo, error)
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+}
+
+// FS is a filesystem. Implementations must be safe for concurrent use by
+// multiple goroutines (the WAL appends while the checkpointer snapshots).
+type FS interface {
+	// OpenFile is the generalized open call (os.OpenFile semantics).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp
+	// semantics: the last "*" in pattern is replaced by a random string).
+	CreateTemp(dir, pattern string) (File, error)
+	// MkdirAll creates a directory path (os.MkdirAll semantics).
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Stat returns file metadata.
+	Stat(name string) (os.FileInfo, error)
+	// Rename atomically renames oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate resizes a file by path.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, making renames, creations and removals
+	// in it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir fsyncs the directory. EINVAL and ENOTSUP are tolerated: some
+// filesystems reject fsync on directories, and on those the rename
+// itself is the best available barrier.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}

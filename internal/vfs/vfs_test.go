@@ -1,0 +1,210 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	f, err := OS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OS.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, _ := r.Read(buf)
+	r.Close()
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("read %q", buf[:n])
+	}
+	if err := OS.Truncate(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := OS.Stat(path)
+	if err != nil || fi.Size() != 2 {
+		t.Fatalf("stat after truncate: %v %v", fi, err)
+	}
+	entries, err := OS.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("readdir: %v %v", entries, err)
+	}
+	if err := OS.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultNthWrite checks After/Count arithmetic: exactly the chosen
+// writes fail, deterministically.
+func TestFaultNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Add(Fault{Op: OpWrite, After: 2, Count: 1}) // fail the 3rd write only
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		_, err := f.Write([]byte("x"))
+		if i == 2 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: want injected error, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	st := in.FaultStats()
+	if st.Injected != 1 || st.ByOp["write"] != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestFaultTornWrite checks Partial: the leading bytes land, the rest
+// do not.
+func TestFaultTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Add(Fault{Op: OpWrite, Partial: 3, Count: 1, Err: syscall.EIO})
+	path := filepath.Join(dir, "torn")
+	f, err := in.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	f.Close()
+	if n != 3 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want (3, EIO), got (%d, %v)", n, err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "abc" {
+		t.Fatalf("on disk: %q", b)
+	}
+}
+
+// TestWriteBudget checks the ENOSPC model: bytes fit until the budget
+// runs out, then every write fails having stored only what fit.
+func TestWriteBudget(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.SetWriteBudget(5)
+	path := filepath.Join(dir, "full")
+	f, err := in.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("defg")) // only 2 budget bytes left
+	if n != 2 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want (2, ENOSPC), got (%d, %v)", n, err)
+	}
+	if _, err := f.Write([]byte("h")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	in.Clear() // disk freed
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "abcdeok" {
+		t.Fatalf("on disk: %q", b)
+	}
+}
+
+// TestFaultSyncTransientVsPermanent: a Count-bounded sync fault clears
+// itself, a Count ≤ 0 one fires forever.
+func TestFaultSyncTransientVsPermanent(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Add(Fault{Op: OpSync, Count: 2})
+	f, err := in.OpenFile(filepath.Join(dir, "s"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3 should recover: %v", err)
+	}
+	in.Add(Fault{Op: OpSync}) // permanent
+	for i := 0; i < 4; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("permanent sync %d: %v", i, err)
+		}
+	}
+}
+
+// TestFaultPathMatchAndRename: path substrings scope faults to specific
+// file families (segments vs snapshots).
+func TestFaultPathMatchAndRename(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Add(Fault{Op: OpRename, Path: "snap-"})
+	wf, err := in.OpenFile(filepath.Join(dir, "wal-1.log"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+	if err := in.Rename(filepath.Join(dir, "wal-1.log"), filepath.Join(dir, "wal-2.log")); err != nil {
+		t.Fatalf("unscoped rename should pass: %v", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "wal-2.log"), filepath.Join(dir, "snap-1.bqs")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("snap rename should fail: %v", err)
+	}
+}
+
+// TestFaultReadCorruption: a CorruptBit fault flips one bit and the
+// read still "succeeds" — the caller's checksum must catch it.
+func TestFaultReadCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c")
+	if err := os.WriteFile(path, []byte{0x10, 0x20}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(nil)
+	in.Add(Fault{Op: OpRead, CorruptBit: true, Count: 1})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 2)
+	n, err := f.Read(buf)
+	if err != nil || n != 2 {
+		t.Fatalf("read: %d %v", n, err)
+	}
+	if buf[0] != 0x11 || buf[1] != 0x20 {
+		t.Fatalf("want bit flip in first byte, got %x", buf)
+	}
+}

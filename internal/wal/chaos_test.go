@@ -1,0 +1,437 @@
+// Chaos property tests (DESIGN.md §9): seeded random workloads run
+// against a fault-injecting filesystem, asserting the durability state
+// machine's contract under disk failure:
+//
+//   - safety: every acknowledged mutation is present after recovery, and
+//     a clean shutdown recovers to exactly the state the process served
+//   - degraded mode never acknowledges an unlogged mutation — rejected
+//     writes leave memory untouched
+//   - reads stay available throughout a degraded episode
+//   - liveness: once the disk heals, the background probe re-arms the
+//     log and the store accepts writes again without a restart
+//
+// Fault evaluation in vfs.Injector is deterministic, so a fixed seed
+// replays the identical failure schedule. `make chaos` runs these (and
+// the server-level chaos tests) under -race.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/bbox"
+	"repro/internal/region"
+	"repro/internal/spatialdb"
+	"repro/internal/vfs"
+)
+
+// chaosOpts are DBOptions tuned for fault tests: fsync on every ack (so
+// "acknowledged" means "on disk"), tiny segments (so rotation happens
+// mid-test), and millisecond retry/probe timings.
+func chaosOpts(kind spatialdb.IndexKind, fs vfs.FS) DBOptions {
+	return DBOptions{
+		Kind: kind, Universe: testUniverse,
+		Log:                Options{Policy: SyncAlways, SegmentBytes: 1 << 10, FS: fs},
+		CheckpointInterval: -1, CheckpointBytes: -1,
+		RetryMax: 2, RetryBackoff: time.Millisecond,
+		ProbeInterval: 2 * time.Millisecond,
+	}
+}
+
+// waitHealthy polls until the DB exits degraded mode.
+func waitHealthy(t *testing.T, db *DB, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for db.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatalf("still degraded after %v (cause: %s)", within, db.DegradeCause())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// chaosBox derives a deterministic small box from an op index.
+func chaosBox(i int) bbox.Box {
+	x := float64((i * 37) % 900)
+	y := float64((i * 53) % 900)
+	return bbox.Rect(x, y, x+3, y+3)
+}
+
+// armRandomFault adds one failpoint drawn from the chaos menu. Every
+// fault is finite (bounded Count) so the injected outage always ends,
+// letting the liveness half of the property hold without an explicit
+// Clear.
+func armRandomFault(rng *rand.Rand, inj *vfs.Injector) {
+	switch rng.Intn(5) {
+	case 0: // transient fsync failure on the active segment
+		inj.Add(vfs.Fault{Op: vfs.OpSync, Path: segPrefix, Count: 1 + rng.Intn(3), Err: syscall.EIO})
+	case 1: // torn write: a prefix lands, then the disk errors
+		inj.Add(vfs.Fault{Op: vfs.OpWrite, Path: segPrefix, Count: 1, Partial: rng.Intn(8), Err: syscall.EIO})
+	case 2: // rotation failure: the next segment cannot be created
+		inj.Add(vfs.Fault{Op: vfs.OpCreate, Path: segPrefix, Count: 1, Err: syscall.ENOSPC})
+	case 3: // checkpoint rename failure
+		inj.Add(vfs.Fault{Op: vfs.OpRename, Path: snapPrefix, Count: 1, Err: syscall.EIO})
+	default: // a burst of write errors, enough to exhaust the retry budget
+		inj.Add(vfs.Fault{Op: vfs.OpWrite, Path: segPrefix, Count: 3 + rng.Intn(4), Err: syscall.EIO})
+	}
+}
+
+// TestChaosRecoveryAcrossBackends is the chaos property harness: a
+// seeded random mutate/read/checkpoint workload runs over a seeded
+// random fault schedule, for every index backend. Throughout the run,
+// reads must keep working and failed mutations must fail degraded; at
+// the end the disk heals, the probe must bring the store back, and a
+// reopen from disk must reproduce exactly the state the process served.
+func TestChaosRecoveryAcrossBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness is not -short")
+	}
+	const ops = 160
+	for _, kind := range allKinds {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", kind, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				inj := vfs.NewInjector(nil)
+				dir := t.TempDir()
+				db := mustOpenDB(t, dir, chaosOpts(kind, inj))
+				store := db.Store()
+				if _, _, err := store.CreateLayer("chaos"); err != nil {
+					t.Fatal(err)
+				}
+
+				acked := map[string]bool{} // names acknowledged live
+				for i := 0; i < ops; i++ {
+					if rng.Intn(12) == 0 {
+						armRandomFault(rng, inj)
+					}
+					switch {
+					case rng.Intn(10) == 0: // checkpoint; may fail on a broken disk
+						_, _ = db.Checkpoint()
+					case rng.Intn(10) == 0: // read: must work no matter what
+						if got := store.Layer("chaos").Len(); got < len(acked) {
+							t.Fatalf("op %d: read %d objects, fewer than the %d acked", i, got, len(acked))
+						}
+					case len(acked) > 0 && rng.Intn(8) == 0: // remove an acked object
+						var victim string
+						for name := range acked {
+							victim = name
+							break
+						}
+						if _, err := store.Remove("chaos", victim); err != nil && !errors.Is(err, spatialdb.ErrDegraded) {
+							t.Fatalf("op %d: remove failed un-degraded: %v", i, err)
+						}
+						// Acked or not, the object is no longer promised: a
+						// remove that *triggered* degradation applied in memory
+						// without being acknowledged, so its state is
+						// indeterminate either way.
+						delete(acked, victim)
+					default: // insert a unique object
+						name := fmt.Sprintf("c%d", i)
+						if _, err := store.Insert("chaos", name, region.FromBox(chaosBox(i))); err != nil {
+							if !errors.Is(err, spatialdb.ErrDegraded) {
+								t.Fatalf("op %d: insert failed un-degraded: %v", i, err)
+							}
+						} else {
+							acked[name] = true
+						}
+					}
+				}
+
+				// The disk heals; the probe must bring the store back.
+				inj.Clear()
+				waitHealthy(t, db, 5*time.Second)
+				if _, err := store.Insert("chaos", "after-heal", region.FromBox(chaosBox(ops))); err != nil {
+					t.Fatalf("insert after heal: %v", err)
+				}
+				acked["after-heal"] = true
+
+				// Every acked object is in memory (nothing acked was lost).
+				have := map[string]bool{}
+				for _, o := range store.Layer("chaos").Objects() {
+					have[o.Name] = true
+				}
+				for name := range acked {
+					if !have[name] {
+						t.Fatalf("acked object %q missing from the live store", name)
+					}
+				}
+
+				if err := db.Close(); err != nil {
+					t.Fatalf("clean close: %v", err)
+				}
+				// Reopen from disk alone: recovery must land on exactly the
+				// state the process was serving (the probe's forced checkpoint
+				// reconciled anything memory was ahead by).
+				db2 := mustOpenDB(t, dir, chaosOpts(kind, nil))
+				defer db2.Close()
+				assertStoresEqual(t, db2.Store(), store, "chaos reopen")
+				if st := db2.Stats(); st.Degraded {
+					t.Fatal("recovered DB started degraded")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosDegradedModeContract pins the state machine's edges with a
+// deterministic schedule: a write outage long enough to exhaust the
+// retry budget must (1) degrade instead of poisoning the log forever,
+// (2) reject — not silently drop, not apply — every mutation while
+// degraded, (3) keep serving reads, and (4) recover on its own once the
+// fault passes, observable in the stats counters.
+func TestChaosDegradedModeContract(t *testing.T) {
+	inj := vfs.NewInjector(nil)
+	dir := t.TempDir()
+	db := mustOpenDB(t, dir, chaosOpts(spatialdb.RTree, inj))
+	store := db.Store()
+	if _, err := store.Insert("towns", "pre", region.FromBox(chaosBox(0))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage: every segment write fails until the injector is cleared.
+	inj.Add(vfs.Fault{Op: vfs.OpWrite, Path: segPrefix, Err: syscall.EIO})
+
+	_, err := store.Insert("towns", "trigger", region.FromBox(chaosBox(1)))
+	if !errors.Is(err, spatialdb.ErrDegraded) {
+		t.Fatalf("insert during outage: %v, want ErrDegraded", err)
+	}
+	if !db.Degraded() {
+		t.Fatal("DB not degraded after exhausted retries")
+	}
+	lenAt := store.Layer("towns").Len()
+
+	// Rejected while degraded, before touching memory.
+	if _, err := store.Insert("towns", "rejected", region.FromBox(chaosBox(2))); !errors.Is(err, spatialdb.ErrDegraded) {
+		t.Fatalf("insert while degraded: %v, want ErrDegraded", err)
+	}
+	if _, _, err := store.Upsert("towns", "rejected", region.FromBox(chaosBox(2))); !errors.Is(err, spatialdb.ErrDegraded) {
+		t.Fatalf("upsert while degraded: %v, want ErrDegraded", err)
+	}
+	if _, err := store.Remove("towns", "pre"); !errors.Is(err, spatialdb.ErrDegraded) {
+		t.Fatalf("remove while degraded: %v, want ErrDegraded", err)
+	}
+	if _, err := store.BulkInsert("towns", []spatialdb.BulkItem{
+		{Name: "bulk-rejected", Reg: region.FromBox(chaosBox(3))},
+	}, spatialdb.BulkAtomic); !errors.Is(err, spatialdb.ErrDegraded) {
+		t.Fatalf("bulk insert while degraded: %v, want ErrDegraded", err)
+	}
+	if got := store.Layer("towns").Len(); got != lenAt {
+		t.Fatalf("degraded mutations changed memory: %d objects, want %d", got, lenAt)
+	}
+	// Reads keep serving.
+	if _, ok := store.LayerIfExists("towns"); !ok {
+		t.Fatal("read unavailable while degraded")
+	}
+	st := db.Stats()
+	if !st.Degraded || st.DegradedEntered != 1 || st.DegradeCause == "" {
+		t.Fatalf("degraded stats = %+v", st)
+	}
+	if st.WALRetries == 0 {
+		t.Fatalf("no in-line retries recorded before degrading: %+v", st)
+	}
+
+	// The disk heals; the probe re-arms and exits degradation by itself.
+	inj.Clear()
+	waitHealthy(t, db, 5*time.Second)
+	if st := db.Stats(); st.Probes == 0 {
+		t.Fatalf("recovered without a probe? %+v", st)
+	}
+	if _, err := store.Insert("towns", "post", region.FromBox(chaosBox(4))); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenDB(t, dir, chaosOpts(spatialdb.RTree, nil))
+	defer db2.Close()
+	assertStoresEqual(t, db2.Store(), store, "reopen after degraded episode")
+}
+
+// TestChaosTransientFsyncRetriesInPlace is the regression test for the
+// old sticky-poisoning behavior: a fsync hiccup must be absorbed by the
+// in-line retry (rearm + re-append or landed-record detection) with the
+// mutation acknowledged, no degradation, and no duplicate record.
+func TestChaosTransientFsyncRetriesInPlace(t *testing.T) {
+	inj := vfs.NewInjector(nil)
+	dir := t.TempDir()
+	db := mustOpenDB(t, dir, chaosOpts(spatialdb.Grid, inj))
+	store := db.Store()
+	if _, err := store.Insert("towns", "a", region.FromBox(chaosBox(0))); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Add(vfs.Fault{Op: vfs.OpSync, Path: segPrefix, Count: 1, Err: syscall.EIO})
+	if _, err := store.Insert("towns", "b", region.FromBox(chaosBox(1))); err != nil {
+		t.Fatalf("insert across a transient fsync fault: %v", err)
+	}
+	if db.Degraded() {
+		t.Fatal("transient fsync fault degraded the store")
+	}
+	st := db.Stats()
+	if st.WALRetries == 0 || st.Log.Rearms == 0 {
+		t.Fatalf("expected an in-line rearm+retry, got %+v", st)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenDB(t, dir, chaosOpts(spatialdb.Grid, nil))
+	defer db2.Close()
+	// Both objects, each exactly once: the landed-record check must not
+	// have duplicated the record whose write survived its failed fsync.
+	assertStoresEqual(t, db2.Store(), store, "reopen after transient fsync")
+}
+
+// TestChaosENOSPCDuringRotation covers the failed-rotation edge: the log
+// advances its bookkeeping to the next segment but the segment file
+// cannot be created. The in-line rearm must recreate it once space
+// returns and acknowledge the write; a full outage must degrade and
+// recover like any other.
+func TestChaosENOSPCDuringRotation(t *testing.T) {
+	inj := vfs.NewInjector(nil)
+	dir := t.TempDir()
+	opts := chaosOpts(spatialdb.RTree, inj)
+	opts.Log.SegmentBytes = 128 // rotate every couple of records
+	db := mustOpenDB(t, dir, opts)
+	store := db.Store()
+
+	// Fill most of the first segment, then fail the next segment create
+	// once: the rotating append must retry through it.
+	for i := 0; i < 3; i++ {
+		if _, err := store.Insert("towns", fmt.Sprintf("t%d", i), region.FromBox(chaosBox(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Add(vfs.Fault{Op: vfs.OpCreate, Path: segPrefix, Count: 1, Err: syscall.ENOSPC})
+	for i := 3; i < 10; i++ {
+		if _, err := store.Insert("towns", fmt.Sprintf("t%d", i), region.FromBox(chaosBox(i))); err != nil {
+			t.Fatalf("insert %d across rotation ENOSPC: %v", i, err)
+		}
+	}
+	if db.Degraded() {
+		t.Fatal("one failed rotation degraded the store")
+	}
+	if st := db.Stats(); st.WALRetries == 0 {
+		t.Fatalf("rotation failure was not retried: %+v", st)
+	}
+
+	// Now the disk is genuinely full: writes store what fits and fail.
+	inj.SetWriteBudget(4)
+	_, err := store.Insert("towns", "nospace", region.FromBox(chaosBox(10)))
+	if !errors.Is(err, spatialdb.ErrDegraded) {
+		t.Fatalf("insert on a full disk: %v, want ErrDegraded", err)
+	}
+	inj.SetWriteBudget(-1) // space freed
+	waitHealthy(t, db, 5*time.Second)
+	if _, err := store.Insert("towns", "freed", region.FromBox(chaosBox(11))); err != nil {
+		t.Fatalf("insert after space freed: %v", err)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenDB(t, dir, chaosOpts(spatialdb.RTree, nil))
+	defer db2.Close()
+	assertStoresEqual(t, db2.Store(), store, "reopen after ENOSPC episode")
+}
+
+// TestChaosCheckpointFaults covers the snapshot path: a checkpoint whose
+// rename fails must clean up its temp file and count a failure; a temp
+// file stranded by a crash mid-checkpoint must be pruned at the next
+// boot; and the background checkpointer must retry a failed checkpoint
+// within its tick.
+func TestChaosCheckpointFaults(t *testing.T) {
+	inj := vfs.NewInjector(nil)
+	dir := t.TempDir()
+	db := mustOpenDB(t, dir, chaosOpts(spatialdb.Scan, inj))
+	store := db.Store()
+	for i := 0; i < 4; i++ {
+		if _, err := store.Insert("towns", fmt.Sprintf("t%d", i), region.FromBox(chaosBox(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rename fails once: the checkpoint errors, counts, and leaves no temp.
+	inj.Add(vfs.Fault{Op: vfs.OpRename, Path: snapPrefix, Count: 1, Err: syscall.EIO})
+	if _, err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded through a failed rename")
+	}
+	if st := db.Stats(); st.CheckpointErr != 1 {
+		t.Fatalf("checkpoint_failures = %d, want 1", st.CheckpointErr)
+	}
+	assertNoTempFiles(t, dir)
+	// The fault is spent; the same checkpoint succeeds now.
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after spent fault: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-checkpoint strands a temp file (the rename never ran);
+	// recovery prunes it and reports it.
+	orphan := filepath.Join(dir, snapPrefix+"31337"+tmpSuffix)
+	if err := os.WriteFile(orphan, []byte("half a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenDB(t, dir, chaosOpts(spatialdb.Scan, nil))
+	defer db2.Close()
+	if got := db2.Stats().OrphanTemps; got != 1 {
+		t.Fatalf("orphan_temps_pruned = %d, want 1", got)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan temp still present: %v", err)
+	}
+	assertStoresEqual(t, db2.Store(), store, "reopen after orphan prune")
+}
+
+// TestChaosBackgroundCheckpointRetries drives the checkpointLoop against
+// a once-failing rename: the in-tick retry must land the snapshot and
+// count both the failure and the retry.
+func TestChaosBackgroundCheckpointRetries(t *testing.T) {
+	inj := vfs.NewInjector(nil)
+	dir := t.TempDir()
+	opts := chaosOpts(spatialdb.RTree, inj)
+	opts.CheckpointInterval = 5 * time.Millisecond
+	opts.CheckpointBytes = 1 // any logged byte triggers the next tick
+	db := mustOpenDB(t, dir, opts)
+	defer db.Close()
+
+	inj.Add(vfs.Fault{Op: vfs.OpRename, Path: snapPrefix, Count: 1, Err: syscall.EIO})
+	if _, err := db.Store().Insert("towns", "a", region.FromBox(chaosBox(0))); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := db.Stats()
+		if st.Checkpoints >= 1 && st.CheckpointErr >= 1 && st.CheckpointRtry >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background checkpoint never retried through the fault: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertNoTempFiles fails if dir holds any checkpoint temp file.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), tmpSuffix) {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}

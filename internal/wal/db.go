@@ -3,7 +3,6 @@ package wal
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -14,6 +13,7 @@ import (
 
 	"repro/internal/bbox"
 	"repro/internal/spatialdb"
+	"repro/internal/vfs"
 )
 
 // DB binds a spatialdb.Store to a Log: the durable store boolqd serves
@@ -42,6 +42,7 @@ import (
 //     and segments are only deleted after it is.
 type DB struct {
 	dir   string
+	fs    vfs.FS
 	log   *Log
 	store *spatialdb.Store
 
@@ -52,18 +53,37 @@ type DB struct {
 	checkpoints  atomic.Int64
 	checkpointMu sync.Mutex // serializes Checkpoint
 	ckptErrs     atomic.Int64
+	ckptRetries  atomic.Int64
 	sinkErrs     atomic.Int64
+	walRetries   atomic.Int64 // in-place Append retries after a sink failure
+
+	// Durability state machine (DESIGN.md §9): healthy ↔ degraded.
+	// Entering degraded flips the store read-only (mutations are rejected
+	// before they touch memory) and wakes probeLoop, which re-arms the log,
+	// reconciles memory and disk with a forced checkpoint, and exits
+	// degradation.
+	degraded      atomic.Bool
+	degradedAt    atomic.Int64 // UnixNano of the transition
+	degradeCause  atomic.Value // string: the error that exhausted retries
+	transitions   atomic.Int64 // times the DB entered degraded mode
+	probes        atomic.Int64 // recovery attempts by probeLoop
+	retryMax      int
+	retryBackoff  time.Duration
+	probeInterval time.Duration
+	probeKick     chan struct{}
 
 	replayed    int64 // records replayed at boot
 	recoveryDur time.Duration
 	snapLoaded  uint64 // LSN of the snapshot recovery started from (0: none)
+	orphanTemps int64  // orphan temp files pruned at boot
 	keep        int    // snapshot generations to retain
 
 	encBuf []byte // sink scratch; the store's write lock serializes access
 
-	stopc chan struct{}
-	donec chan struct{}
-	once  sync.Once
+	stopc     chan struct{}
+	donec     chan struct{}
+	probeDone chan struct{}
+	once      sync.Once
 }
 
 // DBOptions configures OpenDB.
@@ -87,27 +107,65 @@ type DBOptions struct {
 	// KeepSnapshots is how many snapshot generations to retain (≤ 0: 2 —
 	// the newest plus one fallback).
 	KeepSnapshots int
+	// RetryMax is how many times a failed WAL append is retried in place
+	// (rearm + re-append, capped exponential backoff) before the store
+	// degrades to read-only (0: DefaultRetryMax; < 0: no in-place retries
+	// — the first failure degrades immediately).
+	RetryMax int
+	// RetryBackoff is the first retry's sleep; it doubles per attempt up
+	// to maxRetryBackoff (≤ 0: DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// ProbeInterval is how often the background probe attempts recovery
+	// while degraded; it backs off exponentially up to maxProbeBackoff
+	// (≤ 0: DefaultProbeInterval).
+	ProbeInterval time.Duration
 }
 
 // Defaults for DBOptions.
 const (
 	DefaultCheckpointInterval = time.Minute
 	DefaultKeepSnapshots      = 2
+	DefaultRetryMax           = 3
+	DefaultRetryBackoff       = 2 * time.Millisecond
+	DefaultProbeInterval      = 500 * time.Millisecond
+)
+
+// Backoff caps for retries and probes.
+const (
+	maxRetryBackoff = 250 * time.Millisecond
+	maxProbeBackoff = 15 * time.Second
+	// checkpointRetryMax bounds in-tick retries of a failed background
+	// checkpoint before giving up until the next interval.
+	checkpointRetryMax     = 3
+	checkpointRetryBackoff = 250 * time.Millisecond
+	maxCheckpointBackoff   = 5 * time.Second
 )
 
 // DBStats is the durability section of /stats.
 type DBStats struct {
-	Dir           string `json:"dir"`
-	Policy        string `json:"fsync"`
-	AppliedLSN    uint64 `json:"applied_lsn"`
-	CheckpointLSN uint64 `json:"checkpoint_lsn"`
-	Checkpoints   int64  `json:"checkpoints"`
-	CheckpointErr int64  `json:"checkpoint_errors"`
-	SinkErrors    int64  `json:"append_errors"`
-	Replayed      int64  `json:"replayed"`     // records replayed at boot
-	RecoveredFrom uint64 `json:"snapshot_lsn"` // snapshot recovery started from
-	RecoveryMS    int64  `json:"recovery_ms"`
-	Log           Stats  `json:"log"`
+	Dir            string `json:"dir"`
+	Policy         string `json:"fsync"`
+	AppliedLSN     uint64 `json:"applied_lsn"`
+	CheckpointLSN  uint64 `json:"checkpoint_lsn"`
+	Checkpoints    int64  `json:"checkpoints"`
+	CheckpointErr  int64  `json:"checkpoint_failures"`
+	CheckpointRtry int64  `json:"checkpoint_retries"`
+	SinkErrors     int64  `json:"append_errors"`
+	WALRetries     int64  `json:"wal_retries"`  // in-place append retries
+	Replayed       int64  `json:"replayed"`     // records replayed at boot
+	RecoveredFrom  uint64 `json:"snapshot_lsn"` // snapshot recovery started from
+	RecoveryMS     int64  `json:"recovery_ms"`
+	OrphanTemps    int64  `json:"orphan_temps_pruned"` // stale temp files removed at boot
+
+	// Degradation state (DESIGN.md §9).
+	Degraded        bool   `json:"degraded"`
+	DegradedForMS   int64  `json:"degraded_for_ms,omitempty"` // time spent in the current episode
+	DegradeCause    string `json:"degrade_cause,omitempty"`
+	DegradedEntered int64  `json:"degraded_entered"` // lifetime transitions into degraded
+	Probes          int64  `json:"probes"`           // recovery attempts while degraded
+
+	Log    Stats           `json:"log"`
+	Faults *vfs.FaultStats `json:"faults,omitempty"` // set when the FS injects faults (tests)
 }
 
 // OpenDB opens (creating if needed) a durable store in dir and recovers
@@ -121,7 +179,7 @@ func OpenDB(dir string, opts DBOptions) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{dir: dir, log: log}
+	db := &DB{dir: dir, fs: log.fs, log: log}
 	ok := false
 	defer func() {
 		if !ok {
@@ -129,8 +187,17 @@ func OpenDB(dir string, opts DBOptions) (*DB, error) {
 		}
 	}()
 
+	// Recovery step 0: prune temp files a crashed (or fault-aborted)
+	// checkpoint left behind. They are invisible to recovery — only the
+	// rename publishes a snapshot — but they cost disk forever if kept.
+	if n, err := pruneOrphanTemps(db.fs, dir); err != nil {
+		return nil, err
+	} else {
+		db.orphanTemps = n
+	}
+
 	// Recovery step 1: newest intact snapshot.
-	store, snapLSN, err := loadBestSnapshot(dir, opts.Kind)
+	store, snapLSN, err := loadBestSnapshot(db.fs, dir, opts.Kind)
 	if err != nil {
 		return nil, err
 	}
@@ -185,8 +252,27 @@ func OpenDB(dir string, opts DBOptions) (*DB, error) {
 		keep = DefaultKeepSnapshots
 	}
 	db.keep = keep
+	switch {
+	case opts.RetryMax < 0:
+		db.retryMax = 0
+	case opts.RetryMax == 0:
+		db.retryMax = DefaultRetryMax
+	default:
+		db.retryMax = opts.RetryMax
+	}
+	db.retryBackoff = opts.RetryBackoff
+	if db.retryBackoff <= 0 {
+		db.retryBackoff = DefaultRetryBackoff
+	}
+	db.probeInterval = opts.ProbeInterval
+	if db.probeInterval <= 0 {
+		db.probeInterval = DefaultProbeInterval
+	}
 	db.stopc = make(chan struct{})
 	db.donec = make(chan struct{})
+	db.probeDone = make(chan struct{})
+	db.probeKick = make(chan struct{}, 1)
+	go db.probeLoop()
 	if interval > 0 {
 		go db.checkpointLoop(interval, bytes)
 	} else {
@@ -194,6 +280,33 @@ func OpenDB(dir string, opts DBOptions) (*DB, error) {
 	}
 	ok = true
 	return db, nil
+}
+
+// pruneOrphanTemps removes checkpoint temp files (snap-*.tmp*) that a
+// crash or an aborted checkpoint stranded, returning how many went.
+func pruneOrphanTemps(fs vfs.FS, dir string) (int64, error) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	var pruned int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.Contains(name, tmpSuffix) ||
+			strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+			return pruned, fmt.Errorf("wal: pruning orphan temp %s: %w", name, err)
+		}
+		pruned++
+	}
+	if pruned > 0 {
+		if err := syncDir(fs, dir); err != nil {
+			return pruned, err
+		}
+	}
+	return pruned, nil
 }
 
 // Store returns the recovered store. Mutations through it are logged;
@@ -208,33 +321,162 @@ func (db *DB) Replayed() int64 { return db.replayed }
 
 // Stats returns the durability counters.
 func (db *DB) Stats() DBStats {
-	return DBStats{
-		Dir:           db.dir,
-		Policy:        db.log.Policy().String(),
-		AppliedLSN:    db.appliedLSN.Load(),
-		CheckpointLSN: db.checkpointLSN.Load(),
-		Checkpoints:   db.checkpoints.Load(),
-		CheckpointErr: db.ckptErrs.Load(),
-		SinkErrors:    db.sinkErrs.Load(),
-		Replayed:      db.replayed,
-		RecoveredFrom: db.snapLoaded,
-		RecoveryMS:    db.recoveryDur.Milliseconds(),
-		Log:           db.log.Stats(),
+	st := DBStats{
+		Dir:             db.dir,
+		Policy:          db.log.Policy().String(),
+		AppliedLSN:      db.appliedLSN.Load(),
+		CheckpointLSN:   db.checkpointLSN.Load(),
+		Checkpoints:     db.checkpoints.Load(),
+		CheckpointErr:   db.ckptErrs.Load(),
+		CheckpointRtry:  db.ckptRetries.Load(),
+		SinkErrors:      db.sinkErrs.Load(),
+		WALRetries:      db.walRetries.Load(),
+		Replayed:        db.replayed,
+		RecoveredFrom:   db.snapLoaded,
+		RecoveryMS:      db.recoveryDur.Milliseconds(),
+		OrphanTemps:     db.orphanTemps,
+		Degraded:        db.degraded.Load(),
+		DegradedEntered: db.transitions.Load(),
+		Probes:          db.probes.Load(),
+		Log:             db.log.Stats(),
 	}
+	if st.Degraded {
+		st.DegradedForMS = time.Since(time.Unix(0, db.degradedAt.Load())).Milliseconds()
+		if cause, ok := db.degradeCause.Load().(string); ok {
+			st.DegradeCause = cause
+		}
+	}
+	if faulty, ok := db.fs.(vfs.Faulty); ok {
+		fst := faulty.FaultStats()
+		st.Faults = &fst
+	}
+	return st
+}
+
+// Degraded reports whether the DB is in degraded read-only mode.
+func (db *DB) Degraded() bool { return db.degraded.Load() }
+
+// DegradeCause returns the error message that triggered the current
+// degraded episode ("" when healthy).
+func (db *DB) DegradeCause() string {
+	if !db.degraded.Load() {
+		return ""
+	}
+	cause, _ := db.degradeCause.Load().(string)
+	return cause
 }
 
 // logMutation is the store's mutation sink: encode, append, remember the
 // position. It runs under the store's write lock, so encBuf needs no
 // further guard and records are appended in exactly apply order.
+//
+// A failed append is retried in place with capped exponential backoff:
+// each attempt re-arms the log (repairing torn bytes or a missing active
+// segment) and either detects that the record actually landed — a write
+// that reached the disk before only its fsync failed keeps its LSN, and
+// re-appending it would replay the mutation twice — or appends again.
+// Exhausted retries degrade the store to read-only (ErrDegraded) and
+// hand recovery to probeLoop; the mutation is applied in memory but NOT
+// durable, which the probe's forced checkpoint reconciles before any new
+// mutation is admitted.
 func (db *DB) logMutation(m *spatialdb.Mutation) error {
 	db.encBuf = spatialdb.AppendMutation(db.encBuf[:0], m)
+	want := db.log.NextLSN()
 	lsn, err := db.log.Append(db.encBuf)
-	if err != nil {
-		db.sinkErrs.Add(1)
-		return err
+	if err == nil {
+		db.appliedLSN.Store(lsn)
+		return nil
 	}
-	db.appliedLSN.Store(lsn)
-	return nil
+	db.sinkErrs.Add(1)
+	backoff := db.retryBackoff
+	for attempt := 0; attempt < db.retryMax; attempt++ {
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+		db.walRetries.Add(1)
+		if rerr := db.log.Rearm(); rerr != nil {
+			err = rerr
+			continue
+		}
+		if last := db.log.LastLSN(); last >= want {
+			// The failed append reached the disk after all (e.g. the write
+			// landed and only the fsync failed); Rearm's probe fsync made
+			// it durable, so acknowledge it rather than duplicate it.
+			db.appliedLSN.Store(last)
+			return nil
+		}
+		if lsn, err = db.log.Append(db.encBuf); err == nil {
+			db.appliedLSN.Store(lsn)
+			return nil
+		}
+		db.sinkErrs.Add(1)
+	}
+	db.enterDegraded(err)
+	return fmt.Errorf("%w: %v", spatialdb.ErrDegraded, err)
+}
+
+// enterDegraded flips the store into degraded read-only mode and wakes
+// the recovery probe. Idempotent: only the first caller transitions.
+func (db *DB) enterDegraded(cause error) {
+	if db.degraded.CompareAndSwap(false, true) {
+		db.transitions.Add(1)
+		db.degradedAt.Store(time.Now().UnixNano())
+		db.degradeCause.Store(cause.Error())
+		db.store.SetDegraded(true)
+		select {
+		case db.probeKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// probeLoop waits for degraded episodes and repeatedly attempts recovery
+// with exponential backoff until the log accepts writes again.
+func (db *DB) probeLoop() {
+	defer close(db.probeDone)
+	for {
+		select {
+		case <-db.stopc:
+			return
+		case <-db.probeKick:
+		}
+		backoff := db.probeInterval
+		for db.degraded.Load() {
+			select {
+			case <-db.stopc:
+				return
+			case <-time.After(backoff):
+			}
+			db.probes.Add(1)
+			if db.tryRecover() {
+				break
+			}
+			if backoff *= 2; backoff > maxProbeBackoff {
+				backoff = maxProbeBackoff
+			}
+		}
+	}
+}
+
+// tryRecover is one probe attempt: re-arm the log, reconcile memory and
+// disk, and exit degraded mode. The in-memory store can be ahead of the
+// log — the mutation that exhausted retries was applied but never
+// logged, and acknowledged-but-buffered records may have been lost under
+// the interval policy — so a forced checkpoint snapshots the full memory
+// state at a fresh boundary before mutations are admitted again: the
+// next recovery lands on exactly what the process was serving.
+func (db *DB) tryRecover() bool {
+	if err := db.log.Rearm(); err != nil {
+		return false
+	}
+	db.appliedLSN.Store(db.log.LastLSN())
+	if _, err := db.checkpoint(true); err != nil {
+		return false
+	}
+	db.degraded.Store(false)
+	db.store.SetDegraded(false)
+	return true
 }
 
 // Checkpoint writes a snapshot of the current state, seals and deletes
@@ -242,32 +484,37 @@ func (db *DB) logMutation(m *spatialdb.Mutation) error {
 // snapshot's boundary LSN. Concurrent calls serialize; mutations proceed
 // concurrently except during the state serialization itself (which holds
 // the store's read guard).
-func (db *DB) Checkpoint() (uint64, error) {
+func (db *DB) Checkpoint() (uint64, error) { return db.checkpoint(false) }
+
+// checkpoint implements Checkpoint. force writes a snapshot even when no
+// new LSN was logged since the last one — the degradation-exit path needs
+// that, because it snapshots in-memory state the log never captured.
+func (db *DB) checkpoint(force bool) (uint64, error) {
 	db.checkpointMu.Lock()
 	defer db.checkpointMu.Unlock()
 	// Serialize through a temp file in the same directory; the boundary
 	// LSN — and with it the final name — is only known once the store's
 	// read guard is held, so the atomic write is spelled out here rather
-	// than through WriteFileAtomic.
+	// than through writeFileAtomic.
 	var lsn uint64
-	tmp, err := os.CreateTemp(db.dir, snapPrefix+"*"+tmpSuffix)
+	tmp, err := db.fs.CreateTemp(db.dir, snapPrefix+"*"+tmpSuffix)
 	if err != nil {
 		db.ckptErrs.Add(1)
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	cleanup := func(err error) (uint64, error) {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		db.fs.Remove(tmp.Name())
 		db.ckptErrs.Add(1)
 		return 0, err
 	}
 	if err := db.store.SaveBinaryMark(tmp, func() { lsn = db.appliedLSN.Load() }); err != nil {
 		return cleanup(err)
 	}
-	if lsn == db.checkpointLSN.Load() {
+	if lsn == db.checkpointLSN.Load() && !force {
 		// Nothing was logged since the last checkpoint; discard quietly.
 		tmp.Close()
-		os.Remove(tmp.Name())
+		db.fs.Remove(tmp.Name())
 		return lsn, nil
 	}
 	if err := tmp.Sync(); err != nil {
@@ -277,12 +524,12 @@ func (db *DB) Checkpoint() (uint64, error) {
 		return cleanup(fmt.Errorf("wal: %w", err))
 	}
 	final := filepath.Join(db.dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
+	if err := db.fs.Rename(tmp.Name(), final); err != nil {
+		db.fs.Remove(tmp.Name())
 		db.ckptErrs.Add(1)
 		return 0, fmt.Errorf("wal: %w", err)
 	}
-	if err := syncDir(db.dir); err != nil {
+	if err := syncDir(db.fs, db.dir); err != nil {
 		db.ckptErrs.Add(1)
 		return 0, err
 	}
@@ -311,7 +558,7 @@ func (db *DB) Checkpoint() (uint64, error) {
 
 // pruneSnapshots deletes all but the newest keep snapshots.
 func (db *DB) pruneSnapshots() error {
-	lsns, err := scanSnapshots(db.dir)
+	lsns, err := scanSnapshots(db.fs, db.dir)
 	if err != nil {
 		return err
 	}
@@ -320,15 +567,18 @@ func (db *DB) pruneSnapshots() error {
 	}
 	for _, lsn := range lsns[:len(lsns)-db.keep] {
 		name := filepath.Join(db.dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
-		if err := os.Remove(name); err != nil {
+		if err := db.fs.Remove(name); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
-	return syncDir(db.dir)
+	return syncDir(db.fs, db.dir)
 }
 
 // checkpointLoop wakes every interval and checkpoints when enough WAL
-// bytes accumulated since the last snapshot.
+// bytes accumulated since the last snapshot. A failed checkpoint is
+// retried a few times with capped backoff inside the tick — a full disk
+// or a transient fault should not silently push the recovery bound a
+// whole interval into the future — then left for the next interval.
 func (db *DB) checkpointLoop(interval time.Duration, bytes int64) {
 	defer close(db.donec)
 	t := time.NewTicker(interval)
@@ -336,13 +586,31 @@ func (db *DB) checkpointLoop(interval time.Duration, bytes int64) {
 	for {
 		select {
 		case <-t.C:
+			if db.degraded.Load() {
+				continue // probeLoop owns recovery (and its exit checkpoint)
+			}
 			if db.appliedLSN.Load() <= db.checkpointLSN.Load() {
 				continue
 			}
 			if bytes > 0 && db.log.Stats().AppendedBytes-db.ckptBytes.Load() < bytes {
 				continue
 			}
-			_, _ = db.Checkpoint() // failures are counted in ckptErrs
+			backoff := checkpointRetryBackoff
+			for attempt := 0; ; attempt++ {
+				_, err := db.Checkpoint() // failures are counted in ckptErrs
+				if err == nil || attempt >= checkpointRetryMax {
+					break
+				}
+				db.ckptRetries.Add(1)
+				select {
+				case <-db.stopc:
+					return
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > maxCheckpointBackoff {
+					backoff = maxCheckpointBackoff
+				}
+			}
 		case <-db.stopc:
 			return
 		}
@@ -358,6 +626,7 @@ func (db *DB) Close() error {
 	db.once.Do(func() {
 		close(db.stopc)
 		<-db.donec
+		<-db.probeDone
 		err = db.log.Close()
 	})
 	return err
@@ -366,8 +635,8 @@ func (db *DB) Close() error {
 // ---- snapshot discovery ----
 
 // scanSnapshots lists snapshot boundary LSNs in dir, ascending.
-func scanSnapshots(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func scanSnapshots(fs vfs.FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -392,14 +661,14 @@ func scanSnapshots(dir string) ([]uint64, error) {
 // falling back to older ones (a torn checkpoint cannot happen — renames
 // are atomic — but a corrupted disk block can). Returns (nil, 0, nil)
 // when no loadable snapshot exists.
-func loadBestSnapshot(dir string, kind spatialdb.IndexKind) (*spatialdb.Store, uint64, error) {
-	lsns, err := scanSnapshots(dir)
+func loadBestSnapshot(fs vfs.FS, dir string, kind spatialdb.IndexKind) (*spatialdb.Store, uint64, error) {
+	lsns, err := scanSnapshots(fs, dir)
 	if err != nil {
 		return nil, 0, err
 	}
 	for i := len(lsns) - 1; i >= 0; i-- {
 		name := filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsns[i], snapSuffix))
-		f, err := os.Open(name)
+		f, err := fs.Open(name)
 		if err != nil {
 			return nil, 0, fmt.Errorf("wal: %w", err)
 		}
@@ -410,7 +679,7 @@ func loadBestSnapshot(dir string, kind spatialdb.IndexKind) (*spatialdb.Store, u
 		}
 		// Corrupt: set it aside so the next boot does not retry it, and
 		// fall back to the previous generation.
-		_ = os.Rename(name, name+".corrupt")
+		_ = fs.Rename(name, name+".corrupt")
 	}
 	return nil, 0, nil
 }

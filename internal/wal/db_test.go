@@ -10,6 +10,7 @@ import (
 	"repro/internal/bbox"
 	"repro/internal/region"
 	"repro/internal/spatialdb"
+	"repro/internal/vfs"
 )
 
 var (
@@ -224,7 +225,7 @@ func TestDBCheckpointTruncatesLogAndBoundsRecovery(t *testing.T) {
 	if _, err := db2.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	snaps, err := scanSnapshots(dir)
+	snaps, err := scanSnapshots(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

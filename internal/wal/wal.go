@@ -42,8 +42,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"time"
+
+	"repro/internal/vfs"
 )
 
 // Policy selects when appended records are fsynced to stable storage.
@@ -104,6 +105,10 @@ type Options struct {
 	// Interval is the SyncInterval flush period (≤ 0:
 	// DefaultSyncInterval).
 	Interval time.Duration
+	// FS is the filesystem the log runs on (nil: vfs.OS). Tests inject a
+	// vfs.Injector here to exercise every durability code path under
+	// programmable disk faults.
+	FS vfs.FS
 }
 
 // Defaults for Options.
@@ -133,9 +138,11 @@ type Stats struct {
 	AppendedBytes int64  `json:"appended_bytes"` // record bytes appended (incl. framing)
 	Fsyncs        int64  `json:"fsyncs"`         // fsync calls issued
 	Rotations     int64  `json:"rotations"`      // segments sealed by rotation
+	Rearms        int64  `json:"rearms"`         // failure episodes repaired by Rearm
 	Segments      int    `json:"segments"`       // segment files on disk
 	LastLSN       uint64 `json:"last_lsn"`       // newest assigned LSN (0: none)
 	TornTail      bool   `json:"torn_tail"`      // open truncated a torn final record
+	Failed        bool   `json:"failed"`         // a write failure disabled the log (Rearm pending)
 }
 
 // Log is a segmented append-only record log. Append/Sync/Rotate/
@@ -143,23 +150,25 @@ type Stats struct {
 // appending starts (recovery-time only).
 type Log struct {
 	dir  string
+	fs   vfs.FS
 	opts Options
 
 	mu       sync.Mutex
-	f        *os.File
+	f        vfs.File
 	w        *bufio.Writer
 	starts   []uint64 // first LSN of each segment on disk, ascending; last is active
 	curStart uint64
 	size     int64  // bytes in the active segment
 	next     uint64 // LSN the next Append assigns
 	dirty    bool   // unsynced bytes pending
-	err      error  // sticky: a failed write poisons the log
+	err      error  // a failed write disables the log until Rearm repairs it
 	closed   bool
 
 	appends   atomic.Int64
 	bytes     atomic.Int64
 	fsyncs    atomic.Int64
 	rotations atomic.Int64
+	rearms    atomic.Int64
 	tornTail  bool
 
 	stopc chan struct{} // interval syncer lifecycle
@@ -177,11 +186,14 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = DefaultSyncInterval
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = vfs.OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
-	starts, err := scanSegments(dir)
+	l := &Log{dir: dir, fs: opts.FS, opts: opts}
+	starts, err := scanSegments(l.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -195,18 +207,18 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.starts = starts
 		l.curStart = starts[len(starts)-1]
 		path := l.segPath(l.curStart)
-		count, goodBytes, torn, err := scanTail(path)
+		count, goodBytes, torn, err := scanTail(l.fs, path)
 		if err != nil {
 			return nil, err
 		}
 		if torn {
-			if err := os.Truncate(path, goodBytes); err != nil {
+			if err := l.fs.Truncate(path, goodBytes); err != nil {
 				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 			}
 			l.tornTail = true
 		}
 		l.next = l.curStart + uint64(count)
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -235,6 +247,23 @@ func (l *Log) LastLSN() uint64 {
 	return l.next - 1
 }
 
+// NextLSN returns the LSN the next successful Append will assign. Callers
+// that retry a failed Append use it to detect a record that actually
+// reached the disk even though the Append reported an error.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Failed returns the write failure currently disabling the log, or nil
+// when the log is healthy.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
 // SegmentStart returns the first LSN of the active segment.
 func (l *Log) SegmentStart() uint64 {
 	l.mu.Lock()
@@ -248,23 +277,27 @@ func (l *Log) Stats() Stats {
 	segments := len(l.starts)
 	last := l.next - 1
 	torn := l.tornTail
+	failed := l.err != nil
 	l.mu.Unlock()
 	return Stats{
 		Appends:       l.appends.Load(),
 		AppendedBytes: l.bytes.Load(),
 		Fsyncs:        l.fsyncs.Load(),
 		Rotations:     l.rotations.Load(),
+		Rearms:        l.rearms.Load(),
 		Segments:      segments,
 		LastLSN:       last,
 		TornTail:      torn,
+		Failed:        failed,
 	}
 }
 
 // Append writes one record and returns its LSN. Under SyncAlways the
 // record is on stable storage when Append returns; under the other
-// policies it is buffered. A write failure poisons the log: every later
+// policies it is buffered. A write failure disables the log: every later
 // Append fails too, because bytes may have reached the file partially
-// and anything appended after them would be unreachable at replay.
+// and anything appended after them would be unreachable at replay. Rearm
+// repairs the on-disk state and re-enables appending.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) > maxRecordBytes {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
@@ -383,7 +416,7 @@ func (l *Log) rotateLocked() error {
 // createSegmentLocked creates the active segment file for l.curStart.
 func (l *Log) createSegmentLocked() error {
 	path := l.segPath(l.curStart)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return l.poisonLocked(err)
 	}
@@ -391,9 +424,89 @@ func (l *Log) createSegmentLocked() error {
 	l.w = bufio.NewWriter(f)
 	l.size = 0
 	l.dirty = false
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		return l.poisonLocked(err)
 	}
+	return nil
+}
+
+// Rearm repairs a log disabled by a write failure and re-enables
+// appending. The wounded writer's buffer is discarded — the on-disk scan
+// below is the only truth about what survived — and the active segment is
+// re-scanned exactly as Open does after a crash: whole records count,
+// a torn tail is truncated, and next is recomputed from what the disk
+// actually holds. If the active segment file is missing (a rotation
+// failed after sealing the old segment but before creating the new one),
+// it is created. A probe fsync must succeed before the log is trusted
+// again; on any error the log stays disabled and Rearm can be retried.
+// Rearm on a healthy log is a no-op.
+//
+// After a Rearm, LSNs continue from the disk state: an append whose
+// write landed but whose fsync failed keeps its LSN (now durable via the
+// probe fsync), while one that never reached the disk is forgotten and
+// its LSN is reassigned to the next append. Callers holding
+// acknowledged-but-buffered records (SyncInterval/SyncNever policies)
+// must reconcile by snapshotting, as wal.DB does.
+func (l *Log) Rearm() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.err == nil {
+		return nil
+	}
+	if l.f != nil {
+		_ = l.f.Close() // best effort; the file may already be unusable
+		l.f = nil
+		l.w = nil
+	}
+	path := l.segPath(l.curStart)
+	var count int
+	var goodBytes int64
+	if _, statErr := l.fs.Stat(path); statErr == nil {
+		c, gb, torn, err := scanTail(l.fs, path)
+		if err != nil {
+			return fmt.Errorf("wal: rearm: %w", err)
+		}
+		count, goodBytes = c, gb
+		if torn {
+			if err := l.fs.Truncate(path, goodBytes); err != nil {
+				return fmt.Errorf("wal: rearm: truncating torn tail of %s: %w", path, err)
+			}
+		}
+		f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: rearm: %w", err)
+		}
+		l.f = f
+	} else {
+		// The rotation that failed sealed the old segment but never
+		// materialized the new one.
+		f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: rearm: %w", err)
+		}
+		l.f = f
+		if err := syncDir(l.fs, l.dir); err != nil {
+			_ = l.f.Close()
+			l.f = nil
+			return fmt.Errorf("wal: rearm: %w", err)
+		}
+	}
+	// Probe: the device must accept an fsync before the log is trusted.
+	if err := l.f.Sync(); err != nil {
+		_ = l.f.Close()
+		l.f = nil
+		return fmt.Errorf("wal: rearm probe fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	l.w = bufio.NewWriter(l.f)
+	l.size = goodBytes
+	l.next = l.curStart + uint64(count)
+	l.dirty = false
+	l.err = nil
+	l.rearms.Add(1)
 	return nil
 }
 
@@ -418,7 +531,7 @@ func (l *Log) SkipTo(lsn uint64) error {
 	if err := l.f.Close(); err != nil {
 		return l.poisonLocked(err)
 	}
-	if err := os.Remove(old); err != nil {
+	if err := l.fs.Remove(old); err != nil {
 		return l.poisonLocked(err)
 	}
 	l.next = lsn
@@ -441,7 +554,7 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	var firstErr error
-	if l.err == nil {
+	if l.err == nil && l.f != nil {
 		if err := l.w.Flush(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -451,8 +564,10 @@ func (l *Log) Close() error {
 			l.fsyncs.Add(1)
 		}
 	}
-	if err := l.f.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	if l.f != nil {
+		if err := l.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }
@@ -507,7 +622,7 @@ func (l *Log) Replay(after uint64, fn func(lsn uint64, payload []byte) error) er
 			continue
 		}
 		sealed := i+1 < len(starts)
-		if err := replaySegment(l.segPath(start), start, end, sealed, after, fn); err != nil {
+		if err := replaySegment(l.fs, l.segPath(start), start, end, sealed, after, fn); err != nil {
 			return err
 		}
 	}
@@ -516,8 +631,8 @@ func (l *Log) Replay(after uint64, fn func(lsn uint64, payload []byte) error) er
 
 // replaySegment reads one segment file, invoking fn for records with
 // lsn > after and lsn < end.
-func replaySegment(path string, start, end uint64, sealed bool, after uint64, fn func(uint64, []byte) error) error {
-	f, err := os.Open(path)
+func replaySegment(fs vfs.FS, path string, start, end uint64, sealed bool, after uint64, fn func(uint64, []byte) error) error {
+	f, err := fs.Open(path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -570,14 +685,14 @@ func (l *Log) TruncateBelow(lsn uint64) (int, error) {
 	for len(l.starts) > 1 && l.starts[1] <= lsn+1 {
 		// The next segment starts at starts[1], so this one's records end
 		// at starts[1]-1 ≤ lsn: every record is covered by the snapshot.
-		if err := os.Remove(l.segPath(l.starts[0])); err != nil {
+		if err := l.fs.Remove(l.segPath(l.starts[0])); err != nil {
 			return removed, fmt.Errorf("wal: %w", err)
 		}
 		l.starts = l.starts[1:]
 		removed++
 	}
 	if removed > 0 {
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDir(l.fs, l.dir); err != nil {
 			return removed, err
 		}
 	}
@@ -591,8 +706,8 @@ func (l *Log) segPath(start uint64) string {
 }
 
 // scanSegments lists segment start LSNs in dir, ascending.
-func scanSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func scanSegments(fs vfs.FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -622,8 +737,8 @@ func scanSegments(dir string) ([]uint64, error) {
 // the byte offset where the last intact record ends. Anything after it —
 // a short header, a short payload, a checksum mismatch, an absurd length
 // — is a torn final append, the expected shape of a crash.
-func scanTail(path string) (count int, goodBytes int64, torn bool, err error) {
-	f, err := os.Open(path)
+func scanTail(fs vfs.FS, path string) (count int, goodBytes int64, torn bool, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, 0, false, fmt.Errorf("wal: %w", err)
 	}
@@ -669,16 +784,10 @@ func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
 func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
 
 // syncDir fsyncs a directory so renames, creations and removals in it
-// are durable. EINVAL is tolerated: some filesystems reject fsync on
-// directories, and on those the rename itself is the best available
-// barrier.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+// are durable. Filesystem quirks (EINVAL on directory fsync) are handled
+// by the FS implementation; anything it reports is a real failure.
+func syncDir(fs vfs.FS, dir string) error {
+	if err := fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("wal: fsync %s: %w", dir, err)
 	}
 	return nil
@@ -690,15 +799,19 @@ func syncDir(dir string) error {
 // place, followed by a directory fsync. Any existing file at path is
 // replaced atomically.
 func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	return writeFileAtomic(vfs.OS, path, write)
+}
+
+func writeFileAtomic(fs vfs.FS, path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+tmpSuffix)
+	tmp, err := fs.CreateTemp(dir, filepath.Base(path)+tmpSuffix)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fs.Remove(tmp.Name())
 		}
 	}()
 	if err = write(tmp); err != nil {
@@ -710,8 +823,8 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fs.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fs, dir)
 }
