@@ -47,10 +47,11 @@ golden-update:
 
 # chaos runs the seeded fault-injection property suite under -race:
 # random mutate/query/checkpoint workloads against the vfs fault
-# injector across all five backends, plus the HTTP degraded-mode and
-# admission-control (429/503) contract tests. Blocking in CI; see
-# DESIGN.md §9.
+# injector across all five backends, the HTTP degraded-mode and
+# admission-control (429/503) contract tests, and the two-node
+# replication matrix (kill/restart, partition-past-truncation,
+# primary-crash promote). Blocking in CI; see DESIGN.md §9–10.
 chaos:
 	go test -race -count=1 \
 		-run 'Chaos|ServerTransient|ServerDegraded|ServerSheds|ServerBatchSheds|AdmissionPool|Fault|WriteBudget' \
-		./internal/wal/ ./internal/server/ ./internal/vfs/
+		./internal/wal/ ./internal/server/ ./internal/vfs/ ./internal/repl/

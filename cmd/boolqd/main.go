@@ -5,6 +5,7 @@
 //	boolqd -demo                          # serve the generated smuggler map
 //	boolqd -snapshot db.json              # serve a saved store
 //	boolqd -data-dir /var/lib/boolqd      # durable: WAL + snapshots, crash recovery
+//	boolqd -replica-of http://primary:8080  # read replica tailing the primary's WAL
 //	boolqd -addr :9000 -index gridfile -workers 8
 //
 // Try it:
@@ -48,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/bbox"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/spatialdb"
 	"repro/internal/wal"
@@ -107,6 +109,13 @@ func run() error {
 			"admission control: max concurrently admitted requests per pool (reads and mutations each get this many slots); 0: unbounded")
 		shedQueue = flag.Int("shed-queue", 0,
 			"admission control: waiters allowed per pool beyond -max-inflight before arrivals are shed with 429 (0: shed as soon as the pool is full)")
+
+		replicaOf = flag.String("replica-of", "",
+			"replica mode: primary base URL to tail (e.g. http://primary:8080); the store is read-only and converges by streaming the primary's WAL")
+		maxStaleness = flag.Uint64("max-staleness", 1024,
+			"replica mode: /readyz reports ready only while the replica is at most this many records behind the primary (0: no lag bound)")
+		rejectStaleReads = flag.Bool("reject-stale-reads", false,
+			"replica mode: additionally 503 /query and /query/batch while the replica is outside its staleness bound")
 	)
 	flag.Parse()
 
@@ -150,9 +159,31 @@ func run() error {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	if *replicaOf != "" && *dataDir != "" {
+		return errors.New("-replica-of and -data-dir are mutually exclusive: a replica's durability is the primary's WAL")
+	}
+
 	var store *spatialdb.Store
 	var db *wal.DB
-	if *dataDir != "" {
+	var rep *repl.Replica
+	if *replicaOf != "" {
+		u, err := parseUniverse(*universe)
+		if err != nil {
+			return err
+		}
+		rep, err = repl.New(repl.Options{
+			Primary:      *replicaOf,
+			Transport:    &repl.HTTPTransport{Base: *replicaOf},
+			Kind:         kind,
+			Universe:     u,
+			MaxStaleness: *maxStaleness,
+		})
+		if err != nil {
+			return err
+		}
+		store = rep.Store()
+		log.Printf("replica mode: tailing %s (max staleness %d records)", *replicaOf, *maxStaleness)
+	} else if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsyncPolicy)
 		if err != nil {
 			return err
@@ -186,9 +217,16 @@ func run() error {
 		CacheSize: *cacheSize, Workers: *workers, BatchWorkers: *batchWork,
 		QueryTimeout: *queryTimeout, Durable: db, StaticPlan: staticPlan,
 		MaxInflight: *maxInflight, ShedQueue: *shedQueue,
+		Replica: rep, RejectStaleReads: *rejectStaleReads,
 	})
 	if *maxInflight > 0 {
 		log.Printf("admission control: %d in-flight per pool, queue depth %d", *maxInflight, *shedQueue)
+	}
+	if rep != nil {
+		// Started after server.New so the server's swapStore hook is in
+		// place before the first bootstrap can install a snapshot.
+		rep.Start()
+		defer rep.Stop()
 	}
 	handler.Set(srv.Handler())
 	log.Print("serving")
@@ -198,10 +236,18 @@ func run() error {
 		return err
 	case <-ctx.Done():
 		log.Print("shutting down")
+		// Drain first: /readyz flips to 503 and open /repl/wal streams are
+		// sealed with an end record, so load balancers and replicas move on
+		// while in-flight requests finish under Shutdown's grace window.
+		srv.BeginDrain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
+		}
+		if rep != nil {
+			rep.Stop()
+			log.Print("replication stopped")
 		}
 		if db != nil {
 			// Seal the log: buffered records are flushed and fsynced, so

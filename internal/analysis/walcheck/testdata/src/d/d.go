@@ -192,3 +192,79 @@ func (s *store) ApplyMutation(k, v int) {
 	s.objs[k] = v
 	s.data.Add(1)
 }
+
+// applyMutationLocked is the shared replay body replica applies must go
+// through; it reaches the statsink via commit.
+func (s *store) applyMutationLocked(k, v int) error {
+	s.commit(k, v)
+	s.epoch.Add(1)
+	return nil
+}
+
+// GoodReplicaApply is the shape a replica-apply entry point should
+// have: write lock, shared replay body, no logging, no gate.
+//
+//boolq:mutation replica
+func (s *store) GoodReplicaApply(k, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyMutationLocked(k, v)
+}
+
+// BadReplicaRelog ships the record back into the local WAL: the stream
+// would be duplicated on every hop.
+//
+//boolq:mutation replica
+func (s *store) BadReplicaRelog(k, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.applyMutationLocked(k, v); err != nil {
+		return err
+	}
+	return s.logMutation(k) // want `replica apply BadReplicaRelog calls logMutation`
+}
+
+// BadReplicaGate passes the local admission gate, which rejects every
+// mutation once the replica gate is raised — the stream would stall.
+//
+//boolq:mutation replica
+func (s *store) BadReplicaGate(k, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.admitMutationLocked(); err != nil { // want `replica apply BadReplicaGate passes the admitMutationLocked gate`
+		return err
+	}
+	return s.applyMutationLocked(k, v)
+}
+
+// BadReplicaNoLock applies outside the write lock, interleaving with
+// readers.
+//
+//boolq:mutation replica
+func (s *store) BadReplicaNoLock(k, v int) error {
+	return s.applyMutationLocked(k, v) // want `applyMutationLocked called without holding a write lock`
+}
+
+// BadReplicaNoApply mutates by hand instead of going through the shared
+// replay body.
+//
+//boolq:mutation replica
+func (s *store) BadReplicaNoApply(k, v int) { // want `BadReplicaNoApply never calls applyMutationLocked`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[k] = v
+	s.data.Add(1)
+	s.epoch.Add(1)
+}
+
+// BadReplicaSink invokes the raw sink from the replica path.
+//
+//boolq:mutation replica
+func (s *store) BadReplicaSink(k, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.applyMutationLocked(k, v); err != nil {
+		return err
+	}
+	return s.sink(k) // want `replica apply BadReplicaSink invokes the mutation sink sink`
+}

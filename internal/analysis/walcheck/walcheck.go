@@ -23,6 +23,16 @@
 //
 // Replay paths (ApplyMutation) are deliberately not annotated: relogging
 // during recovery would duplicate the tail.
+//
+// Replica-apply entry points — functions applying a primary's shipped
+// records on a read replica (PR 10) — are annotated `//boolq:mutation
+// replica` and carry an inverted contract: the record is already durable
+// on the primary and the local admission gate exists to turn local
+// writes away, so a replica-apply must NOT call the WAL append, NOT
+// invoke the sink, and NOT pass the admission gate (it would reject
+// every record once the replica gate is raised). It must still apply
+// through the shared replay body (default applyMutationLocked) under a
+// write lock, and still reach statistics maintenance unless `nostats`.
 package walcheck
 
 import (
@@ -45,6 +55,10 @@ var guardFn = flags.String("guardfn", "admitMutationLocked", "method name of the
 
 // sinkField is the mutation-sink field only logFn may invoke.
 var sinkField = flags.String("sinkfield", "sink", "field name of the raw mutation sink")
+
+// applyFn is the shared replay body a `//boolq:mutation replica` entry
+// point must invoke under the write lock.
+var applyFn = flags.String("applyfn", "applyMutationLocked", "method name of the shared replay body replica applies go through")
 
 // Analyzer is the walcheck analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -88,13 +102,20 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				continue
 			}
-			nostats := false
+			nostats, replica := false, false
 			for _, a := range dir.Args {
-				if a == "nostats" {
+				switch a {
+				case "nostats":
 					nostats = true
+				case "replica":
+					replica = true
 				}
 			}
-			checkMutation(pass, decls, sinks, fn, nostats)
+			if replica {
+				checkReplicaMutation(pass, decls, sinks, fn, nostats)
+			} else {
+				checkMutation(pass, decls, sinks, fn, nostats)
+			}
 		}
 	}
 	return nil
@@ -164,6 +185,48 @@ func checkMutation(pass *analysis.Pass, decls map[string][]*ast.FuncDecl, sinks 
 		}
 	}
 
+	if !nostats && !reachesSink(pass, decls, sinks, fn, map[*ast.FuncDecl]bool{}, 0) {
+		pass.Reportf(fn.Name.Pos(), "//boolq:mutation %s never reaches a //boolq:statsink call; planner statistics would go stale (use `//boolq:mutation nostats` only if no per-object stats change)", fn.Name.Name)
+	}
+}
+
+// checkReplicaMutation enforces the inverted contract of a
+// `//boolq:mutation replica` entry point: no WAL append (the record is
+// already durable on the primary), no direct sink use, no local
+// admission gate (it would reject every shipped record once the replica
+// gate is raised), and at least one call to the shared replay body under
+// a write lock. Stats reachability is shared with the local contract:
+// replica applies feed the same planner statistics.
+func checkReplicaMutation(pass *analysis.Pass, decls map[string][]*ast.FuncDecl, sinks map[types.Object]bool, fn *ast.FuncDecl, nostats bool) {
+	applies := 0
+	h := analysis.LockHandler{
+		Call: func(call *ast.CallExpr, st *analysis.LockState) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			switch sel.Sel.Name {
+			case *logFn:
+				pass.Reportf(call.Pos(), "replica apply %s calls %s; shipped records are already durable on the primary and relogging them would duplicate the stream", fn.Name.Name, *logFn)
+			case *sinkField:
+				pass.Reportf(call.Pos(), "replica apply %s invokes the mutation sink %s; a replica owns no WAL", fn.Name.Name, *sinkField)
+			case *guardFn:
+				pass.Reportf(call.Pos(), "replica apply %s passes the %s gate; the gate rejects local writes and would turn away every shipped record in replica mode", fn.Name.Name, *guardFn)
+			case *applyFn:
+				applies++
+				if !anyWriteHeld(st) {
+					pass.Reportf(call.Pos(), "%s called without holding a write lock; replica applies must not interleave with readers", *applyFn)
+				}
+			}
+		},
+	}
+	lits := analysis.WalkLocks(fn.Body, analysis.NewLockState(), h)
+	for i := 0; i < len(lits); i++ {
+		lits = append(lits, analysis.WalkLocks(lits[i].Body, analysis.NewLockState(), h)...)
+	}
+	if applies == 0 {
+		pass.Reportf(fn.Name.Pos(), "//boolq:mutation replica %s never calls %s: shipped records must go through the shared replay body", fn.Name.Name, *applyFn)
+	}
 	if !nostats && !reachesSink(pass, decls, sinks, fn, map[*ast.FuncDecl]bool{}, 0) {
 		pass.Reportf(fn.Name.Pos(), "//boolq:mutation %s never reaches a //boolq:statsink call; planner statistics would go stale (use `//boolq:mutation nostats` only if no per-object stats change)", fn.Name.Name)
 	}

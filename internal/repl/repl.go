@@ -1,0 +1,468 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bbox"
+	"repro/internal/retry"
+	"repro/internal/spatialdb"
+	"repro/internal/wal"
+)
+
+// Defaults for Options.
+const (
+	// DefaultContactTimeout is how long without any stream traffic
+	// (records, heartbeats, a fresh snapshot) before the replica stops
+	// reporting ready: a partitioned replica cannot know its lag.
+	DefaultContactTimeout = 5 * time.Second
+	// DefaultRetryBase/Cap/Jitter shape the fetch-loop backoff. Jitter is
+	// load-bearing: a primary restart reconnects every replica at once,
+	// and jitter spreads the stampede.
+	DefaultRetryBase   = 100 * time.Millisecond
+	DefaultRetryCap    = 5 * time.Second
+	DefaultRetryJitter = 0.5
+)
+
+// Options configures a Replica.
+type Options struct {
+	// Primary is the primary's address, for stats and for the 503 body
+	// local writes are redirected with.
+	Primary string
+	// Transport reaches the primary (required). Wrap it in a
+	// FaultTransport to inject link faults.
+	Transport Transport
+	// Kind is the index backend for stores built from snapshots.
+	Kind spatialdb.IndexKind
+	// Universe is the store universe before the first snapshot arrives
+	// (a snapshot's universe always wins).
+	Universe bbox.Box
+	// MaxStaleness is the readiness lag bound, in records: the replica
+	// reports ready only while durable_lsn − applied_lsn ≤ MaxStaleness
+	// (0: no lag bound — readiness gates only on bootstrap and contact).
+	MaxStaleness uint64
+	// ContactTimeout is how long without primary traffic before readiness
+	// drops (≤ 0: DefaultContactTimeout).
+	ContactTimeout time.Duration
+	// Retry shapes the fetch-loop backoff (zero value: the defaults
+	// above).
+	Retry retry.Policy
+	// OnSwap is called whenever bootstrap installs a new store — the
+	// server hooks its swapStore here so caches and generation tags
+	// follow. Called from the fetch goroutine.
+	OnSwap func(*spatialdb.Store)
+}
+
+// Stats is the replication section of /stats.
+type Stats struct {
+	Primary       string `json:"primary"`
+	Bootstrapped  bool   `json:"bootstrapped"`
+	Promoted      bool   `json:"promoted"`
+	AppliedLSN    uint64 `json:"applied_lsn"`
+	DurableLSN    uint64 `json:"durable_lsn"` // primary's position, as last heard
+	Lag           uint64 `json:"lag"`         // durable_lsn − applied_lsn
+	MaxStaleness  uint64 `json:"max_staleness"`
+	SnapshotLSN   uint64 `json:"snapshot_lsn"` // boundary of the last bootstrap
+	Snapshots     int64  `json:"snapshots_fetched"`
+	Records       int64  `json:"records_applied"`
+	Heartbeats    int64  `json:"heartbeats"`
+	StreamOpens   int64  `json:"stream_opens"`
+	StreamErrors  int64  `json:"stream_errors"`
+	Retries       int64  `json:"retries"`
+	CRCErrors     int64  `json:"crc_errors"`
+	LastContactMS int64  `json:"last_contact_ms"` // -1: never
+}
+
+// Replica tails a primary. Construct with New, call Start to begin the
+// bootstrap-and-tail loop, Stop to halt it, Promote to re-arm a caught-up
+// replica as a writable primary. Store returns the current local store;
+// it changes when a bootstrap installs a fresh snapshot, so servers must
+// hook OnSwap rather than caching the pointer.
+type Replica struct {
+	primary        string
+	tr             Transport
+	kind           spatialdb.IndexKind
+	universe       bbox.Box
+	maxStaleness   uint64
+	contactTimeout time.Duration
+	pol            retry.Policy
+	onSwap         atomic.Pointer[func(*spatialdb.Store)]
+
+	store        atomic.Pointer[spatialdb.Store]
+	applied      atomic.Uint64 // last LSN applied locally
+	durable      atomic.Uint64 // primary's durable LSN, as last heard
+	snapshotLSN  atomic.Uint64
+	bootstrapped atomic.Bool
+	promoted     atomic.Bool
+	lastContact  atomic.Int64 // UnixNano of the last primary traffic (0: never)
+
+	snapshots    atomic.Int64
+	records      atomic.Int64
+	heartbeats   atomic.Int64
+	streamOpens  atomic.Int64
+	streamErrors atomic.Int64
+	retries      atomic.Int64
+	crcErrors    atomic.Int64
+
+	// needSnapshot is owned by the run goroutine (set before Start for
+	// the initial bootstrap).
+	needSnapshot bool
+
+	runMu  sync.Mutex // guards cancel/donec: Start, Stop, Promote
+	cancel context.CancelFunc
+	donec  chan struct{}
+}
+
+// New builds a replica and installs an empty read-only store so the
+// server has something to serve before the first bootstrap completes
+// (readiness stays false until then).
+func New(opts Options) (*Replica, error) {
+	if opts.Transport == nil {
+		return nil, errors.New("repl: Options.Transport is required")
+	}
+	if opts.Universe.IsEmpty() {
+		return nil, errors.New("repl: Options.Universe must be non-empty")
+	}
+	r := &Replica{
+		primary:        opts.Primary,
+		tr:             opts.Transport,
+		kind:           opts.Kind,
+		universe:       opts.Universe,
+		maxStaleness:   opts.MaxStaleness,
+		contactTimeout: opts.ContactTimeout,
+		pol:            opts.Retry,
+		needSnapshot:   true,
+	}
+	if opts.OnSwap != nil {
+		r.SetOnSwap(opts.OnSwap)
+	}
+	if r.contactTimeout <= 0 {
+		r.contactTimeout = DefaultContactTimeout
+	}
+	if r.pol.Base <= 0 {
+		r.pol = retry.Policy{Base: DefaultRetryBase, Cap: DefaultRetryCap, Jitter: DefaultRetryJitter}
+	}
+	st := spatialdb.NewStore(r.universe, r.kind)
+	st.SetReplica(true)
+	r.store.Store(st)
+	return r, nil
+}
+
+// Store returns the current local store.
+func (r *Replica) Store() *spatialdb.Store { return r.store.Load() }
+
+// SetOnSwap installs the bootstrap swap hook after construction. The
+// server is built over an already-constructed replica's store, so it
+// hooks its own swapStore here before Start.
+func (r *Replica) SetOnSwap(fn func(*spatialdb.Store)) { r.onSwap.Store(&fn) }
+
+// Primary returns the primary's address.
+func (r *Replica) Primary() string { return r.primary }
+
+// AppliedLSN returns the last locally applied LSN.
+func (r *Replica) AppliedLSN() uint64 { return r.applied.Load() }
+
+// DurableLSN returns the primary's durable LSN as last heard.
+func (r *Replica) DurableLSN() uint64 { return r.durable.Load() }
+
+// Lag returns durable − applied (0 when caught up or ahead of the last
+// heartbeat).
+func (r *Replica) Lag() uint64 {
+	d, a := r.durable.Load(), r.applied.Load()
+	if d <= a {
+		return 0
+	}
+	return d - a
+}
+
+// Promoted reports whether Promote has re-armed this node as a primary.
+func (r *Replica) Promoted() bool { return r.promoted.Load() }
+
+// Ready reports whether the replica should receive load-balanced reads,
+// with a reason when not: bootstrapped, in contact with the primary, and
+// within the staleness bound (or promoted, which short-circuits all
+// three — a promoted node is the primary).
+func (r *Replica) Ready() (bool, string) {
+	if r.promoted.Load() {
+		return true, "promoted"
+	}
+	if !r.bootstrapped.Load() {
+		return false, "bootstrapping"
+	}
+	last := r.lastContact.Load()
+	if last == 0 {
+		return false, "no primary contact yet"
+	}
+	if age := time.Since(time.Unix(0, last)); age > r.contactTimeout {
+		return false, fmt.Sprintf("no primary contact for %s", age.Round(time.Millisecond))
+	}
+	if lag := r.Lag(); r.maxStaleness > 0 && lag > r.maxStaleness {
+		return false, fmt.Sprintf("lagging %d records behind the primary (bound %d)", lag, r.maxStaleness)
+	}
+	return true, "ok"
+}
+
+// Stats returns the replication counters.
+func (r *Replica) Stats() Stats {
+	st := Stats{
+		Primary:       r.primary,
+		Bootstrapped:  r.bootstrapped.Load(),
+		Promoted:      r.promoted.Load(),
+		AppliedLSN:    r.applied.Load(),
+		DurableLSN:    r.durable.Load(),
+		Lag:           r.Lag(),
+		MaxStaleness:  r.maxStaleness,
+		SnapshotLSN:   r.snapshotLSN.Load(),
+		Snapshots:     r.snapshots.Load(),
+		Records:       r.records.Load(),
+		Heartbeats:    r.heartbeats.Load(),
+		StreamOpens:   r.streamOpens.Load(),
+		StreamErrors:  r.streamErrors.Load(),
+		Retries:       r.retries.Load(),
+		CRCErrors:     r.crcErrors.Load(),
+		LastContactMS: -1,
+	}
+	if last := r.lastContact.Load(); last != 0 {
+		st.LastContactMS = time.Since(time.Unix(0, last)).Milliseconds()
+	}
+	return st
+}
+
+// Start launches the bootstrap-and-tail loop. Idempotent; a no-op after
+// Promote.
+func (r *Replica) Start() {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	r.startLocked()
+}
+
+func (r *Replica) startLocked() {
+	if r.cancel != nil || r.promoted.Load() {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	done := make(chan struct{})
+	r.donec = done
+	go r.run(ctx, done)
+}
+
+// Stop halts the fetch loop and waits for it to exit. Idempotent.
+func (r *Replica) Stop() {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	r.stopLocked()
+}
+
+func (r *Replica) stopLocked() {
+	if r.cancel == nil {
+		return
+	}
+	r.cancel()
+	<-r.donec
+	r.cancel = nil
+	r.donec = nil
+}
+
+// Promote re-arms a caught-up replica as a writable primary: the fetch
+// loop is stopped and the store's replica gate lowered, so local
+// mutations are admitted again. It refuses — and replication continues —
+// unless the applied LSN has reached the stream end (the primary's
+// durable LSN as last heard): promoting a lagging replica would silently
+// drop the suffix. Returns the LSN the new primary starts from.
+//
+// The promoted store is in-memory only; re-attaching a WAL requires a
+// restart with -data-dir (DESIGN.md §10 discusses the trade-off).
+func (r *Replica) Promote() (uint64, error) {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	if r.promoted.Load() {
+		return r.applied.Load(), nil
+	}
+	if !r.bootstrapped.Load() {
+		return 0, errors.New("repl: replica has not bootstrapped; nothing to promote")
+	}
+	if a, d := r.applied.Load(), r.durable.Load(); a < d {
+		return 0, fmt.Errorf("repl: applied_lsn %d behind stream end %d; refusing promotion", a, d)
+	}
+	// Freeze the LSNs, then re-check: records may have streamed in
+	// between the check above and the loop actually stopping.
+	r.stopLocked()
+	if a, d := r.applied.Load(), r.durable.Load(); a < d {
+		r.startLocked() // keep replicating; the caller can retry
+		return 0, fmt.Errorf("repl: applied_lsn %d behind stream end %d; refusing promotion", a, d)
+	}
+	r.store.Load().SetReplica(false)
+	r.promoted.Store(true)
+	return r.applied.Load(), nil
+}
+
+// touchContact stamps the last time the primary was heard from.
+func (r *Replica) touchContact() { r.lastContact.Store(time.Now().UnixNano()) }
+
+// run is the fetch loop: bootstrap if needed, tail the stream, back off
+// jittered on any failure, re-snapshot on truncation. It exits only on
+// context cancellation.
+func (r *Replica) run(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	attempt := 0
+	for {
+		progressed, err := r.cycle(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if progressed {
+			attempt = 0
+		}
+		if err != nil {
+			r.streamErrors.Add(1)
+			if errors.Is(err, wal.ErrTruncated) {
+				// The primary pruned past our cursor; only a fresh snapshot
+				// can reconverge us.
+				r.needSnapshot = true
+			}
+		}
+		r.retries.Add(1)
+		if retry.Sleep(ctx, r.pol.Jittered(attempt, nil)) != nil {
+			return
+		}
+		attempt++
+	}
+}
+
+// cycle is one connect-and-tail pass: at most one bootstrap, one stream,
+// then return (nil: the stream ended cleanly — primary drain or EOF).
+// progressed reports whether any record or heartbeat arrived, which
+// resets the backoff.
+func (r *Replica) cycle(ctx context.Context) (progressed bool, err error) {
+	if r.needSnapshot {
+		if err := r.bootstrap(ctx); err != nil {
+			return false, err
+		}
+		r.needSnapshot = false
+	}
+	stream, err := r.tr.OpenWAL(ctx, r.applied.Load())
+	if err != nil {
+		return false, err
+	}
+	r.streamOpens.Add(1)
+	defer stream.Close()
+	// Close the stream when ctx dies so a blocked Next unblocks even if
+	// the transport ignores contexts.
+	watchdone := make(chan struct{})
+	defer close(watchdone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stream.Close()
+		case <-watchdone:
+		}
+	}()
+
+	for {
+		rec, err := stream.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return progressed, nil // clean close; reconnect
+			}
+			return progressed, err
+		}
+		if rec.Error != "" {
+			return progressed, fmt.Errorf("repl: primary reported: %s", rec.Error)
+		}
+		r.touchContact()
+		if rec.DurableLSN > r.durable.Load() {
+			r.durable.Store(rec.DurableLSN)
+		}
+		switch {
+		case rec.End:
+			// Primary draining: finish cleanly and reconnect later (the
+			// next accept may be a promoted successor).
+			return progressed, nil
+		case rec.Heartbeat:
+			r.heartbeats.Add(1)
+			progressed = true
+		default:
+			if err := r.apply(rec); err != nil {
+				return progressed, err
+			}
+			progressed = true
+		}
+	}
+}
+
+// apply verifies and applies one data record.
+func (r *Replica) apply(rec WireRecord) error {
+	applied := r.applied.Load()
+	if rec.LSN <= applied {
+		return nil // duplicate after a resume; already applied
+	}
+	if rec.LSN != applied+1 {
+		return fmt.Errorf("repl: stream gap: record %d after applied %d", rec.LSN, applied)
+	}
+	if crc32.ChecksumIEEE(rec.Data) != rec.CRC {
+		r.crcErrors.Add(1)
+		return fmt.Errorf("repl: record %d: checksum mismatch in transit", rec.LSN)
+	}
+	m, err := spatialdb.DecodeMutation(rec.Data)
+	if err != nil {
+		return fmt.Errorf("repl: record %d: %w", rec.LSN, err)
+	}
+	if err := r.store.Load().ApplyReplicated(m); err != nil {
+		return fmt.Errorf("repl: record %d: %w", rec.LSN, err)
+	}
+	r.applied.Store(rec.LSN)
+	r.records.Add(1)
+	return nil
+}
+
+// bootstrap fetches the primary's newest snapshot and installs it as the
+// local store. A primary with no checkpoint yet is normal on first
+// bootstrap — the replica starts empty and tails from LSN 0 — but fatal
+// on a re-bootstrap after truncation: falling back to empty would throw
+// away applied state.
+func (r *Replica) bootstrap(ctx context.Context) error {
+	snap, err := r.tr.FetchSnapshot(ctx)
+	if errors.Is(err, wal.ErrNoSnapshot) {
+		if r.bootstrapped.Load() {
+			return fmt.Errorf("repl: WAL truncated but primary offers no snapshot: %w", err)
+		}
+		st := spatialdb.NewStore(r.universe, r.kind)
+		st.SetReplica(true)
+		r.install(st, 0)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer snap.Body.Close()
+	st, err := spatialdb.LoadBinary(snap.Body, r.kind)
+	if err != nil {
+		return fmt.Errorf("repl: loading snapshot at LSN %d: %w", snap.LSN, err)
+	}
+	st.SetReplica(true)
+	r.install(st, snap.LSN)
+	r.snapshots.Add(1)
+	r.snapshotLSN.Store(snap.LSN)
+	return nil
+}
+
+// install swaps in a freshly bootstrapped store.
+func (r *Replica) install(st *spatialdb.Store, lsn uint64) {
+	r.store.Store(st)
+	r.applied.Store(lsn)
+	if lsn > r.durable.Load() {
+		r.durable.Store(lsn)
+	}
+	r.bootstrapped.Store(true)
+	r.touchContact()
+	if fn := r.onSwap.Load(); fn != nil {
+		(*fn)(st)
+	}
+}

@@ -1,0 +1,177 @@
+// Package repl is WAL-shipping replication: a primary-side log stream
+// (served by internal/server's /repl endpoints) and a replica-side apply
+// loop that bootstraps from the newest checkpoint snapshot and then
+// tails the primary's WAL, applying each record through the store's
+// replay path. DESIGN.md §10 describes the topology and the invariants;
+// the short form is that a replica is always an exact prefix of the
+// primary — snapshot state plus records 1..applied_lsn — so replaying
+// the remaining suffix reconverges it from any interruption point.
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// WireRecord is one NDJSON line of the /repl/wal stream. Exactly one of
+// the three shapes is populated:
+//
+//   - a data record: LSN, CRC (crc32-IEEE of Data, carried end to end so
+//     the replica re-verifies the payload it received, not just the
+//     payload the primary read), Data, DurableLSN;
+//   - a heartbeat: Heartbeat plus DurableLSN — sent while the log is
+//     idle so replicas can measure lag and liveness without traffic;
+//   - a stream end: End plus DurableLSN — the primary is draining; the
+//     replica should reconnect (the next accept may be a new primary).
+//
+// Error is set on a mid-stream failure the primary could not map to an
+// HTTP status because the response had already started.
+type WireRecord struct {
+	LSN        uint64 `json:"lsn,omitempty"`
+	CRC        uint32 `json:"crc,omitempty"`
+	Data       []byte `json:"data,omitempty"` // base64 via encoding/json
+	Heartbeat  bool   `json:"heartbeat,omitempty"`
+	DurableLSN uint64 `json:"durable_lsn"`
+	End        bool   `json:"end,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Snapshot is a checkpoint being streamed from the primary: the boundary
+// LSN plus the raw .bqs body. The caller owns Body.
+type Snapshot struct {
+	LSN  uint64
+	Body io.ReadCloser
+}
+
+// RecordStream is an open /repl/wal stream. Next blocks until a record,
+// heartbeat, or stream end arrives; it returns io.EOF when the primary
+// closed the stream cleanly. Close releases the connection and unblocks
+// a pending Next.
+type RecordStream interface {
+	Next() (WireRecord, error)
+	Close() error
+}
+
+// Transport is the replica's view of its primary. The two errors that
+// carry protocol meaning are wal.ErrNoSnapshot from FetchSnapshot (the
+// primary has no checkpoint yet; bootstrap empty and tail from LSN 0)
+// and wal.ErrTruncated from OpenWAL (the cursor is behind the primary's
+// retention; re-bootstrap from a snapshot). Everything else is a
+// transient fault the fetch loop retries with backoff. Implementations:
+// HTTPTransport for real links, FaultTransport (fault.go) wrapping any
+// Transport for the chaos harness.
+type Transport interface {
+	// FetchSnapshot opens the primary's newest checkpoint.
+	FetchSnapshot(ctx context.Context) (*Snapshot, error)
+	// OpenWAL opens the record stream for LSNs > after.
+	OpenWAL(ctx context.Context, after uint64) (RecordStream, error)
+}
+
+// SnapshotLSNHeader carries the snapshot's boundary LSN on GET
+// /repl/snapshot responses. The server handler sets it; FetchSnapshot
+// requires it.
+const SnapshotLSNHeader = "X-Boolq-Snapshot-Lsn"
+
+// HTTPTransport speaks the /repl/* endpoints of a boolqd primary.
+type HTTPTransport struct {
+	// Base is the primary's base URL, e.g. "http://primary:8080".
+	Base string
+	// Client is the HTTP client (nil: http.DefaultClient). Streams are
+	// long-polls, so the client must not carry a short overall timeout;
+	// cancellation comes from the context.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTransport) base() string { return strings.TrimRight(t.Base, "/") }
+
+// FetchSnapshot implements Transport.
+func (t *HTTPTransport) FetchSnapshot(ctx context.Context) (*Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base()+"/repl/snapshot", nil)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, wal.ErrNoSnapshot
+	default:
+		err := httpError("snapshot", resp)
+		resp.Body.Close()
+		return nil, err
+	}
+	lsn, err := strconv.ParseUint(resp.Header.Get(SnapshotLSNHeader), 10, 64)
+	if err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("repl: snapshot response carries no %s header: %w", SnapshotLSNHeader, err)
+	}
+	return &Snapshot{LSN: lsn, Body: resp.Body}, nil
+}
+
+// OpenWAL implements Transport.
+func (t *HTTPTransport) OpenWAL(ctx context.Context, after uint64) (RecordStream, error) {
+	url := fmt.Sprintf("%s/repl/wal?from=%d", t.base(), after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w (primary pruned past LSN %d)", wal.ErrTruncated, after)
+	default:
+		err := httpError("wal", resp)
+		resp.Body.Close()
+		return nil, err
+	}
+	return &httpStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// httpError summarizes a non-OK response, including a clipped body (the
+// server's JSON error) for the log line.
+func httpError(what string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("repl: %s fetch: %s: %s", what, resp.Status, strings.TrimSpace(string(body)))
+}
+
+type httpStream struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+}
+
+func (s *httpStream) Next() (WireRecord, error) {
+	var rec WireRecord
+	if err := s.dec.Decode(&rec); err != nil {
+		if errors.Is(err, io.EOF) {
+			return rec, io.EOF
+		}
+		return rec, fmt.Errorf("repl: stream decode: %w", err)
+	}
+	return rec, nil
+}
+
+func (s *httpStream) Close() error { return s.body.Close() }

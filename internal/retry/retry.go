@@ -1,0 +1,107 @@
+// Package retry is the one place backoff envelopes are computed. PR 9
+// grew three hand-rolled capped-exponential loops (the WAL append retry,
+// the degraded-mode recovery probe, the checkpoint retry) and replication
+// adds a fourth (the replica fetch loop); each loop keeps its own domain
+// logic — what to attempt, when to give up — but the delay schedule they
+// sleep on comes from a Policy here, so the cap and growth behaviour is
+// specified, tested and tuned once.
+//
+// A Policy is pure data and its Delay function is deterministic, which is
+// what the callers inside locked regions (wal.DB.logMutation runs under
+// the store's write lock) and the chaos tests need. Jitter is explicit
+// and opt-in via Jittered: loops that hammer a shared peer (a replica
+// reconnecting to its primary) spread their wakeups; loops retrying a
+// local disk do not need to.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy is a capped exponential backoff schedule.
+type Policy struct {
+	// Base is the first delay. A zero or negative Base makes every delay
+	// zero (retry immediately) — callers wanting a default must set one.
+	Base time.Duration
+	// Cap bounds every delay (≤ 0: uncapped).
+	Cap time.Duration
+	// Factor is the per-attempt growth (≤ 1: 2, the conventional
+	// doubling).
+	Factor float64
+	// Jitter is the fraction of each delay that Jittered randomizes away,
+	// in [0, 1]: a jittered delay is uniform in [d·(1−Jitter), d]. Delay
+	// ignores it. Values outside [0, 1] are clamped.
+	Jitter float64
+}
+
+// Delay returns the deterministic delay for attempt (0-based):
+// min(Base·Factor^attempt, Cap), with no jitter applied. Overflow
+// saturates at Cap (or at a very large duration when uncapped).
+func (p Policy) Delay(attempt int) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	f := p.Factor
+	if f <= 1 {
+		f = 2
+	}
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= f
+		if p.Cap > 0 && d >= float64(p.Cap) {
+			return p.Cap
+		}
+	}
+	if p.Cap > 0 && d > float64(p.Cap) {
+		return p.Cap
+	}
+	if d > float64(1<<62) {
+		d = float64(1 << 62)
+	}
+	return time.Duration(d)
+}
+
+// Jittered returns Delay(attempt) with the policy's jitter applied:
+// uniform in [d·(1−Jitter), d]. rnd supplies the randomness (nil: the
+// global math/rand source); tests pass a seeded *rand.Rand for
+// reproducible schedules.
+func (p Policy) Jittered(attempt int, rnd *rand.Rand) time.Duration {
+	d := p.Delay(attempt)
+	j := p.Jitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	var u float64
+	if rnd != nil {
+		u = rnd.Float64()
+	} else {
+		u = rand.Float64()
+	}
+	// Uniform in [d·(1−j), d]: the cap stays a hard upper bound.
+	return time.Duration(float64(d) * (1 - j*u))
+}
+
+// Sleep waits d or until ctx is done, whichever comes first, returning
+// ctx.Err() when the context won. A non-positive d returns immediately
+// (after a ctx check, so a cancelled context never reports success).
+func Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,115 @@
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelayEnvelope pins the deterministic schedule: attempt 0 is Base,
+// each attempt doubles (default Factor), and Cap is a hard clamp. The
+// wal.DB loops (append retry, probe, checkpoint) rely on exactly this
+// envelope, so a change here is a change to their retry behaviour.
+func TestDelayEnvelope(t *testing.T) {
+	p := Policy{Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond}
+	want := []time.Duration{
+		2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond,
+		16 * time.Millisecond, 32 * time.Millisecond, 64 * time.Millisecond,
+		128 * time.Millisecond, 250 * time.Millisecond, 250 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayFactor(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Factor: 3}
+	want := []time.Duration{
+		10 * time.Millisecond, 30 * time.Millisecond, 90 * time.Millisecond,
+		270 * time.Millisecond, 810 * time.Millisecond, time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayZeroBase(t *testing.T) {
+	p := Policy{}
+	for i := 0; i < 4; i++ {
+		if got := p.Delay(i); got != 0 {
+			t.Errorf("Delay(%d) = %v, want 0 for zero Base", i, got)
+		}
+	}
+}
+
+// TestDelayUncappedSaturates guards the overflow path: with no Cap a
+// huge attempt count must saturate, not wrap negative.
+func TestDelayUncappedSaturates(t *testing.T) {
+	p := Policy{Base: time.Second}
+	if got := p.Delay(500); got <= 0 {
+		t.Fatalf("Delay(500) = %v, want positive saturated value", got)
+	}
+}
+
+// TestJitteredEnvelope pins the jitter bounds: every jittered delay lies
+// in [d·(1−Jitter), d], so Cap remains a hard upper bound no matter the
+// randomness. The replica fetch loop depends on the upper bound to keep
+// reconnect latency predictable.
+func TestJitteredEnvelope(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 500 * time.Millisecond, Jitter: 0.5}
+	rnd := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 10; attempt++ {
+		d := p.Delay(attempt)
+		lo := time.Duration(float64(d) * 0.5)
+		sawBelow := false
+		for i := 0; i < 200; i++ {
+			j := p.Jittered(attempt, rnd)
+			if j < lo || j > d {
+				t.Fatalf("Jittered(%d) = %v outside [%v, %v]", attempt, j, lo, d)
+			}
+			if j < d {
+				sawBelow = true
+			}
+		}
+		if !sawBelow {
+			t.Errorf("Jittered(%d) never varied below Delay=%v", attempt, d)
+		}
+	}
+}
+
+func TestJitteredZeroJitterIsDeterministic(t *testing.T) {
+	p := Policy{Base: 7 * time.Millisecond, Cap: time.Second}
+	rnd := rand.New(rand.NewSource(2))
+	for attempt := 0; attempt < 5; attempt++ {
+		if got, want := p.Jittered(attempt, rnd), p.Delay(attempt); got != want {
+			t.Errorf("Jittered(%d) = %v, want %v with zero Jitter", attempt, got, want)
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// A cancelled context beats even a zero delay.
+	if err := Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep(ctx, 0) on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestSleepReturnsAfterDelay(t *testing.T) {
+	start := time.Now()
+	if err := Sleep(context.Background(), 5*time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= 5ms", elapsed)
+	}
+}

@@ -126,13 +126,18 @@ func TestServerDegradedModeLifecycle(t *testing.T) {
 		t.Fatalf("query while degraded: %d %s", w.Code, w.Body.String())
 	}
 
-	// /healthz: alive (200) but reporting the state. /readyz: not ready.
+	// /healthz: alive (200) but reporting the state, with Retry-After so
+	// both probes steer pollers the same way. /readyz: not ready.
 	var health map[string]any
-	if w := do(t, s, http.MethodGet, "/healthz", nil, &health); w.Code != http.StatusOK {
-		t.Fatalf("/healthz while degraded: %d, want 200", w.Code)
+	wh := do(t, s, http.MethodGet, "/healthz", nil, &health)
+	if wh.Code != http.StatusOK {
+		t.Fatalf("/healthz while degraded: %d, want 200", wh.Code)
 	}
 	if health["state"] != "degraded" || health["degraded"] != true || health["cause"] == "" {
 		t.Fatalf("/healthz = %v", health)
+	}
+	if wh.Header().Get("Retry-After") == "" {
+		t.Fatal("degraded /healthz carries no Retry-After")
 	}
 	wr := do(t, s, http.MethodGet, "/readyz", nil, nil)
 	if wr.Code != http.StatusServiceUnavailable || wr.Header().Get("Retry-After") == "" {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bbox"
 	"repro/internal/query"
 	"repro/internal/region"
+	"repro/internal/repl"
 	"repro/internal/spatialdb"
 	"repro/internal/wal"
 )
@@ -239,6 +240,9 @@ type statsResponse struct {
 	// Shed is present only with admission control on (-max-inflight): the
 	// read and mutate pools plus the lifetime shed total.
 	Shed *shedStats `json:"shed,omitempty"`
+	// Replication is present only on a replica (-replica-of): stream
+	// position, lag against the primary, and fetch-loop counters.
+	Replication *repl.Stats `json:"replication,omitempty"`
 }
 
 // degradedStats summarizes the durability state machine for /stats.

@@ -5,33 +5,53 @@
 // meaningful:
 //
 //	GET  /healthz     liveness + durability state — always 200 while the
-//	                  process serves, with "state" healthy|degraded
-//	GET  /readyz      readiness — 200 only when the store accepts
-//	                  mutations; 503 while degraded (and the bootstrap
-//	                  handler in cmd/boolqd answers 503 "recovering"
-//	                  while recovery is still running)
+//	                  process serves, with "state" healthy|degraded|replica
+//	GET  /readyz      readiness — 200 only when this node should receive
+//	                  traffic; 503 while degraded, draining, or (on a
+//	                  replica) before catch-up (and the bootstrap handler
+//	                  in cmd/boolqd answers 503 "recovering" while
+//	                  recovery is still running)
 //	POST /checkpoint  force a snapshot + WAL truncation now
+//
+// Both probes attach Retry-After whenever they report a transient state:
+// degraded and replica-lagging conditions clear on their own, and the
+// header tells pollers when to come back. /healthz stays 200 through all
+// of them — degraded read-only mode is a state to report, not a reason
+// to be restarted.
 //
 // POST /snapshot is refused in durable mode: swapping the store out from
 // under the DB would disconnect it from the log. GET /snapshot (save)
-// still works — it only reads.
+// still works — it only reads. Replica mode (Options.Replica) rejects
+// every local mutation with 503 plus the primary's address in the
+// X-Boolq-Primary header; repl_handlers.go has the primary-side stream.
 package server
 
 import (
 	"errors"
 	"net/http"
+	"strconv"
 
 	"repro/internal/spatialdb"
 )
 
+// PrimaryHeader names the primary on replica mutation rejections, so a
+// client that wrote to the wrong node learns where to go without parsing
+// the error string.
+const PrimaryHeader = "X-Boolq-Primary"
+
+// retryAfterLagging is the Retry-After for replica-lagging 503s: catch-up
+// is usually a stream flush away, so it is the short value.
+const retryAfterLagging = 1
+
 // mutationStatus maps a mutation error to an HTTP status. Degraded
 // read-only mode (the WAL is down, a background probe is repairing it)
-// is 503 — retryable, expected to clear on its own; a plain durability
-// failure (the WAL append failed and the write must not be treated as
-// acknowledged) is a server-side 500; anything else is the caller's 400.
+// and the replica gate (writes belong on the primary) are both 503 —
+// retryable somewhere, if not here; a plain durability failure (the WAL
+// append failed and the write must not be treated as acknowledged) is a
+// server-side 500; anything else is the caller's 400.
 func mutationStatus(err error) int {
 	switch {
-	case errors.Is(err, spatialdb.ErrDegraded):
+	case errors.Is(err, spatialdb.ErrDegraded), errors.Is(err, spatialdb.ErrReplica):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, spatialdb.ErrDurability):
 		return http.StatusInternalServerError
@@ -40,16 +60,44 @@ func mutationStatus(err error) int {
 }
 
 // writeMutationError reports a failed mutation, attaching Retry-After
-// when the failure is the retryable degraded-mode rejection.
+// when the failure is the retryable degraded-mode rejection and the
+// primary's address when it is the replica gate.
 //
 //boolq:errwriter
-func writeMutationError(w http.ResponseWriter, err error, format string, args ...any) {
+func (s *Server) writeMutationError(w http.ResponseWriter, err error, format string, args ...any) {
+	if errors.Is(err, spatialdb.ErrReplica) {
+		primary := ""
+		if s.replica != nil {
+			primary = s.replica.Primary()
+		}
+		if primary != "" {
+			w.Header().Set(PrimaryHeader, primary)
+			writeRetryError(w, http.StatusServiceUnavailable, retryAfterDegraded,
+				"store is a read-only replica; write to the primary at %s", primary)
+			return
+		}
+		writeRetryError(w, http.StatusServiceUnavailable, retryAfterDegraded,
+			"store is a read-only replica")
+		return
+	}
 	status := mutationStatus(err)
 	if status == http.StatusServiceUnavailable {
 		writeRetryError(w, status, retryAfterDegraded, format, args...)
 		return
 	}
 	writeError(w, status, format, args...)
+}
+
+// writeProbe writes a probe response, attaching Retry-After whenever
+// retryAfter > 0 — the one place /healthz and /readyz share, so the two
+// probes can never again disagree about which transient states carry the
+// header (PR 9 shipped a degraded /healthz without one while /readyz set
+// it by hand).
+func writeProbe(w http.ResponseWriter, status, retryAfter int, v any) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, v)
 }
 
 // durabilityState classifies the durable layer for the probe endpoints:
@@ -68,26 +116,67 @@ func (s *Server) durabilityState() string {
 // always answers 200 while the process can serve at all — degraded
 // read-only mode is a state to report, not a reason to be restarted —
 // so orchestrators must key restarts on liveness and traffic on /readyz.
+// Transient states still attach Retry-After so pollers that only watch
+// this endpoint know when the state is worth re-reading.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{"ok": true, "state": "healthy"}
+	retryAfter := 0
 	if st := s.durabilityState(); st != "" {
 		resp["state"] = st
 		if st == "degraded" {
 			resp["degraded"] = true
 			resp["cause"] = s.durable.DegradeCause()
+			retryAfter = retryAfterDegraded
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if rep := s.replica; rep != nil && !rep.Promoted() {
+		resp["state"] = "replica"
+		resp["primary"] = rep.Primary()
+		resp["applied_lsn"] = rep.AppliedLSN()
+		resp["lag"] = rep.Lag()
+		if ready, reason := rep.Ready(); !ready {
+			resp["lagging"] = true
+			resp["reason"] = reason
+			retryAfter = retryAfterLagging
+		}
+	}
+	writeProbe(w, http.StatusOK, retryAfter, resp)
 }
 
 // handleReady is GET /readyz. The Server only exists after recovery
 // (OpenDB is synchronous), so the bootstrap 503 ("recovering", answered
-// by cmd/boolqd before the swap) never reaches this handler. What can
-// still make a live server unready is degraded read-only mode: mutations
-// would 503, so readiness reports it distinctly — state "degraded" with
-// its cause — and load balancers can drain writes while reads continue.
+// by cmd/boolqd before the swap) never reaches this handler. A live
+// server is unready while draining (BeginDrain has run; the listener is
+// about to close), while degraded (mutations would 503, so load
+// balancers can drain writes while reads continue), and on a replica
+// that has not caught up — not bootstrapped, out of contact with the
+// primary, or lagging past the staleness bound. Every 503 carries
+// Retry-After.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{"ready": true, "durable": s.durable != nil}
+	if s.draining.Load() {
+		resp["ready"] = false
+		resp["state"] = "draining"
+		writeProbe(w, http.StatusServiceUnavailable, retryAfterDegraded, resp)
+		return
+	}
+	if rep := s.replica; rep != nil {
+		resp["replica"] = !rep.Promoted()
+		resp["primary"] = rep.Primary()
+		resp["applied_lsn"] = rep.AppliedLSN()
+		resp["durable_lsn"] = rep.DurableLSN()
+		resp["lag"] = rep.Lag()
+		if ready, reason := rep.Ready(); !ready {
+			resp["ready"] = false
+			resp["state"] = "catching-up"
+			resp["reason"] = reason
+			writeProbe(w, http.StatusServiceUnavailable, retryAfterLagging, resp)
+			return
+		}
+		resp["state"] = "ok"
+		writeProbe(w, http.StatusOK, 0, resp)
+		return
+	}
 	if s.durable != nil {
 		st := s.durable.Stats()
 		resp["replayed"] = st.Replayed
@@ -97,13 +186,12 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 			resp["ready"] = false
 			resp["state"] = "degraded"
 			resp["cause"] = st.DegradeCause
-			w.Header().Set("Retry-After", "5")
-			writeJSON(w, http.StatusServiceUnavailable, resp)
+			writeProbe(w, http.StatusServiceUnavailable, retryAfterDegraded, resp)
 			return
 		}
 		resp["state"] = "healthy"
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeProbe(w, http.StatusOK, 0, resp)
 }
 
 // handleCheckpoint is POST /checkpoint: write a snapshot of the current

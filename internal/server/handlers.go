@@ -11,6 +11,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/query"
 	"repro/internal/region"
+	"repro/internal/repl"
 	"repro/internal/spatialdb"
 	"repro/internal/wal"
 )
@@ -74,7 +75,7 @@ func (s *Server) handleCreateLayer(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("layer")
 	l, created, err := store.CreateLayer(name)
 	if err != nil {
-		writeMutationError(w, err, "creating layer %q: %v", name, err)
+		s.writeMutationError(w, err, "creating layer %q: %v", name, err)
 		return
 	}
 	store.RLock()
@@ -121,7 +122,7 @@ func (s *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
 	}
 	o, replaced, err := store.Upsert(layer, name, reg)
 	if err != nil {
-		writeMutationError(w, err, "upserting %s/%s: %v", layer, name, err)
+		s.writeMutationError(w, err, "upserting %s/%s: %v", layer, name, err)
 		return
 	}
 	s.metrics.Inserts.Add(1)
@@ -164,7 +165,7 @@ func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 	layer, name := r.PathValue("layer"), r.PathValue("name")
 	ok, err := store.Remove(layer, name)
 	if err != nil {
-		writeMutationError(w, err, "deleting %s/%s: %v", layer, name, err)
+		s.writeMutationError(w, err, "deleting %s/%s: %v", layer, name, err)
 		return
 	}
 	if !ok {
@@ -241,6 +242,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if s.rejectStaleRead(w) {
+		return
+	}
 	s.metrics.QueriesTotal.Add(1)
 	var req queryRequest
 	if decodeBody(w, r, &req) != nil {
@@ -558,6 +562,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Rearms:      st.Log.Rearms,
 		}
 	}
+	var replStats *repl.Stats
+	if s.replica != nil {
+		st := s.replica.Stats()
+		replStats = &st
+	}
 	var shed *shedStats
 	if s.readGate != nil || s.mutGate != nil {
 		shed = &shedStats{
@@ -601,13 +610,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Requests:   mt.BatchRequests.Value(),
 			QueriesRun: mt.BatchQueries.Value(),
 		},
-		Mutations: mutationStats{Inserts: mt.Inserts.Value(), Deletes: mt.Deletes.Value()},
-		Bulk:      bulkStats{Batches: mt.BulkBatches.Value(), Objects: mt.BulkObjects.Value()},
-		Snapshots: snapshotStats{Saves: mt.SnapshotSaves.Value(), Loads: mt.SnapshotLoads.Value()},
-		DB:        store.TotalStats(),
-		WAL:       walStats,
-		Degraded:  degStats,
-		Shed:      shed,
+		Mutations:   mutationStats{Inserts: mt.Inserts.Value(), Deletes: mt.Deletes.Value()},
+		Bulk:        bulkStats{Batches: mt.BulkBatches.Value(), Objects: mt.BulkObjects.Value()},
+		Snapshots:   snapshotStats{Saves: mt.SnapshotSaves.Value(), Loads: mt.SnapshotLoads.Value()},
+		DB:          store.TotalStats(),
+		WAL:         walStats,
+		Degraded:    degStats,
+		Shed:        shed,
+		Replication: replStats,
 	})
 }
 
@@ -626,6 +636,13 @@ func (s *Server) handleSnapshotSave(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
+	if rp := s.replica; rp != nil && !rp.Promoted() {
+		// Swapping a replica's store breaks the invariant that it is an
+		// exact prefix of the primary; the next bootstrap would clobber the
+		// load anyway.
+		s.writeMutationError(w, spatialdb.ErrReplica, "")
+		return
+	}
 	if s.durable != nil {
 		// Swapping the store out would disconnect it from the write-ahead
 		// log: the new store has no mutation sink, so nothing after the

@@ -171,6 +171,19 @@ func (s *Server) handleBulkInsert(w http.ResponseWriter, r *http.Request) {
 	resp.Epoch = rep.Epoch
 	resp.Inserted = rep.Inserted
 	resp.Errors = collectErrs(rep)
+	if errors.Is(err, spatialdb.ErrReplica) {
+		// Checked before ErrDegraded: the replica gate rejects before the
+		// degraded gate is even consulted, and the remedy is different —
+		// send the batch to the primary, don't retry here.
+		resp.Failed = len(objs) - rep.Inserted
+		resp.Error = err.Error()
+		if rp := s.replica; rp != nil && rp.Primary() != "" {
+			w.Header().Set(PrimaryHeader, rp.Primary())
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDegraded))
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
 	if errors.Is(err, spatialdb.ErrDegraded) {
 		// Checked before ErrDurability: the mutation that *triggered*
 		// degradation matches both. Either way the batch must be retried
@@ -206,6 +219,9 @@ func (s *Server) handleBulkInsert(w http.ResponseWriter, r *http.Request) {
 // ---- POST /query/batch ----
 
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectStaleRead(w) {
+		return
+	}
 	var req batchQueryRequest
 	if decodeBody(w, r, &req) != nil {
 		return

@@ -91,5 +91,19 @@ func (s *Server) expvarMap() *expvar.Map {
 			return 0
 		}))
 	}
+	if rep := s.replica; rep != nil {
+		m.Set("repl_applied_lsn", expvar.Func(func() any { return rep.AppliedLSN() }))
+		m.Set("repl_durable_lsn", expvar.Func(func() any { return rep.DurableLSN() }))
+		m.Set("repl_lag", expvar.Func(func() any { return rep.Lag() }))
+		m.Set("repl_records_applied", expvar.Func(func() any { return rep.Stats().Records }))
+		m.Set("repl_snapshots_fetched", expvar.Func(func() any { return rep.Stats().Snapshots }))
+		m.Set("repl_stream_errors", expvar.Func(func() any { return rep.Stats().StreamErrors }))
+		m.Set("repl_promoted", expvar.Func(func() any {
+			if rep.Promoted() {
+				return 1
+			}
+			return 0
+		}))
+	}
 	return m
 }

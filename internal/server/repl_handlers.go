@@ -1,0 +1,208 @@
+// Primary-side replication endpoints. A durable boolqd (Options.Durable)
+// serves two streams replicas consume — GET /repl/snapshot (the newest
+// checkpoint, pinned against pruning while it streams) and GET /repl/wal
+// (a long-poll NDJSON tail of the write-ahead log) — and one admin verb,
+// POST /repl/promote, which is meaningful only on a replica. The wire
+// protocol lives in internal/repl (WireRecord, HTTPTransport); DESIGN.md
+// §10 describes the invariants.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/wal"
+)
+
+// Stream tunables for GET /repl/wal.
+const (
+	// replBatchRecords caps how many records one ReadFrom pass delivers
+	// before the handler flushes and re-checks for cancellation.
+	replBatchRecords = 256
+	// replHeartbeatInterval is how often an idle stream emits a heartbeat
+	// so replicas can measure lag and liveness without traffic.
+	replHeartbeatInterval = 500 * time.Millisecond
+)
+
+// handleReplSnapshot is GET /repl/snapshot: stream the newest checkpoint
+// with its boundary LSN in the X-Boolq-Snapshot-Lsn header. The snapshot
+// is pinned for the duration of the copy, so a concurrent checkpoint's
+// prune pass defers deleting it (wal.DB.AcquireSnapshot); 404 means the
+// primary has no checkpoint yet and the replica should tail from LSN 0.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.durable == nil {
+		writeError(w, http.StatusConflict, "not a durable primary (start boolqd with -data-dir)")
+		return
+	}
+	lsn, body, release, err := s.durable.AcquireSnapshot()
+	if errors.Is(err, wal.ErrNoSnapshot) {
+		writeError(w, http.StatusNotFound, "no checkpoint snapshot yet; tail the WAL from LSN 0")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening snapshot: %v", err)
+		return
+	}
+	defer release()
+	defer body.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(repl.SnapshotLSNHeader, strconv.FormatUint(lsn, 10))
+	_, _ = io.Copy(w, body) // headers are out; a torn copy is the client's retry
+}
+
+// handleReplWAL is GET /repl/wal?from=N: a long-poll NDJSON stream of
+// WAL records with LSN > from. Each line is a repl.WireRecord — data
+// records carry the payload plus its crc32 so the replica verifies what
+// it received, idle periods carry heartbeats with the primary's durable
+// LSN, and a drain (BeginDrain) seals the stream with an end record.
+// 410 Gone means from is behind the primary's retention and the replica
+// must re-bootstrap from a snapshot. The notify-then-drain loop never
+// misses an append: the wakeup channel is grabbed before the read pass,
+// so a record landing between them re-arms the select immediately.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	if s.durable == nil {
+		writeError(w, http.StatusConflict, "not a durable primary (start boolqd with -data-dir)")
+		return
+	}
+	cursor := uint64(0)
+	if from := r.URL.Query().Get("from"); from != "" {
+		v, err := strconv.ParseUint(from, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad from parameter %q: %v", from, err)
+			return
+		}
+		cursor = v
+	}
+	log := s.durable.Log()
+	enc := json.NewEncoder(w) // no indent: one record per line
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	started := false
+	fail := func(status int, err error) {
+		if !started {
+			if status == http.StatusGone {
+				writeRetryError(w, status, retryAfterDegraded,
+					"LSN %d has been truncated by a checkpoint; re-bootstrap from /repl/snapshot (%v)", cursor, err)
+				return
+			}
+			writeError(w, status, "wal stream: %v", err)
+			return
+		}
+		// Headers are out; the best we can do is an in-band error line.
+		_ = enc.Encode(repl.WireRecord{Error: err.Error(), DurableLSN: s.durable.DurableLSN()})
+		flush()
+	}
+	heartbeat := time.NewTicker(replHeartbeatInterval)
+	defer heartbeat.Stop()
+	for {
+		// Grab the wakeup channel BEFORE draining: an append that lands
+		// during the read pass closes this channel, so the idle select
+		// below returns immediately instead of waiting a heartbeat.
+		notify := log.AppendNotify()
+		for {
+			wrote := false
+			n, err := log.ReadFrom(cursor, replBatchRecords, func(lsn uint64, payload []byte) error {
+				if !started {
+					w.Header().Set("Content-Type", "application/x-ndjson")
+					started = true
+				}
+				rec := repl.WireRecord{
+					LSN:        lsn,
+					CRC:        crc32.ChecksumIEEE(payload),
+					Data:       payload,
+					DurableLSN: s.durable.DurableLSN(),
+				}
+				cursor = lsn
+				wrote = true
+				return enc.Encode(rec)
+			})
+			if err != nil {
+				if errors.Is(err, wal.ErrTruncated) {
+					fail(http.StatusGone, err)
+				} else {
+					fail(http.StatusInternalServerError, err)
+				}
+				return
+			}
+			if wrote {
+				flush()
+			}
+			if r.Context().Err() != nil {
+				return
+			}
+			if n < replBatchRecords {
+				break // drained; go idle
+			}
+		}
+		if !started {
+			// Commit the stream before idling so the replica's OpenWAL
+			// returns and liveness heartbeats flow even on an empty log.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			flush()
+			started = true
+		}
+		select {
+		case <-notify:
+			// New records (or the log closed — the next ReadFrom surfaces
+			// whichever it was).
+		case <-heartbeat.C:
+			if enc.Encode(repl.WireRecord{Heartbeat: true, DurableLSN: s.durable.DurableLSN()}) != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		case <-s.drainc:
+			_ = enc.Encode(repl.WireRecord{End: true, DurableLSN: s.durable.DurableLSN()})
+			flush()
+			return
+		}
+	}
+}
+
+// rejectStaleRead 503s a read on a lagging replica when the operator
+// opted into bounded-staleness reads (-reject-stale-reads): a replica
+// outside its staleness bound serves no queries rather than stale ones.
+// Reports whether the request was rejected.
+//
+//boolq:errwriter
+func (s *Server) rejectStaleRead(w http.ResponseWriter) bool {
+	rep := s.replica
+	if rep == nil || !s.rejectStale || rep.Promoted() {
+		return false
+	}
+	if ready, reason := rep.Ready(); !ready {
+		writeRetryError(w, http.StatusServiceUnavailable, retryAfterLagging,
+			"replica outside its staleness bound: %s", reason)
+		return true
+	}
+	return false
+}
+
+// handleReplPromote is POST /repl/promote: stop replicating and re-arm
+// this node as a writable primary. Refused (409) unless this server is a
+// replica that has applied every record the primary durably acknowledged
+// — promoting a lagging replica would silently drop the suffix.
+func (s *Server) handleReplPromote(w http.ResponseWriter, _ *http.Request) {
+	if s.replica == nil {
+		writeError(w, http.StatusConflict, "not a replica (start boolqd with -replica-of)")
+		return
+	}
+	lsn, err := s.replica.Promote()
+	if err != nil {
+		writeError(w, http.StatusConflict, "promote: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "applied_lsn": lsn})
+}

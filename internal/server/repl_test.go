@@ -1,0 +1,264 @@
+// Tests for the primary-side replication endpoints and the probe-header
+// contract (PR 10): /repl/snapshot and /repl/wal serve a durable
+// primary's checkpoint and log, and /healthz and /readyz attach
+// Retry-After on every transient state they report — the PR 9 bug was a
+// degraded /healthz with no header while /readyz set one by hand.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/bbox"
+	"repro/internal/repl"
+	"repro/internal/spatialdb"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+func TestHealthzDegradedCarriesRetryAfter(t *testing.T) {
+	s, db, inj := newFaultyServer(t, t.TempDir())
+	putTestObject(t, s, "towns", "a")
+	inj.Add(vfs.Fault{Op: vfs.OpWrite, Path: "wal-", Err: syscall.EIO})
+	body := jsonRegion{Boxes: []jsonBox{{Lo: []float64{10, 10}, Hi: []float64{20, 20}}}}
+	if w := do(t, s, http.MethodPut, "/layers/towns/objects/b", body, nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("PUT during outage: %d, want 503", w.Code)
+	}
+	if !db.Degraded() {
+		t.Fatal("store not degraded")
+	}
+	// Liveness stays 200 — but the transient state must carry Retry-After,
+	// exactly like /readyz does.
+	w := do(t, s, http.MethodGet, "/healthz", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/healthz while degraded: %d, want 200", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("degraded /healthz carries no Retry-After (the probes disagree again)")
+	}
+	wr := do(t, s, http.MethodGet, "/readyz", nil, nil)
+	if wr.Code != http.StatusServiceUnavailable || wr.Header().Get("Retry-After") == "" {
+		t.Fatalf("/readyz while degraded: %d (Retry-After %q)", wr.Code, wr.Header().Get("Retry-After"))
+	}
+}
+
+func TestHealthzHealthyHasNoRetryAfter(t *testing.T) {
+	s, db := newDurableServer(t, t.TempDir())
+	defer db.Close()
+	w := do(t, s, http.MethodGet, "/healthz", nil, nil)
+	if w.Code != http.StatusOK || w.Header().Get("Retry-After") != "" {
+		t.Fatalf("healthy /healthz: %d (Retry-After %q), want 200 without the header",
+			w.Code, w.Header().Get("Retry-After"))
+	}
+}
+
+func TestHealthzReplicaReportsCatchUpState(t *testing.T) {
+	// A replica that has never reached its primary: /healthz stays 200
+	// (alive) but reports the replica state with Retry-After; /readyz
+	// 503s until bootstrap.
+	rep, err := repl.New(repl.Options{
+		Primary:   "http://primary.invalid:8080",
+		Transport: &repl.HTTPTransport{Base: "http://primary.invalid:8080"},
+		Kind:      spatialdb.RTree,
+		Universe:  bbox.Rect(0, 0, 1000, 1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(rep.Store(), Options{Replica: rep})
+
+	var health map[string]any
+	w := do(t, s, http.MethodGet, "/healthz", nil, &health)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/healthz on replica: %d, want 200", w.Code)
+	}
+	if health["state"] != "replica" || health["primary"] != "http://primary.invalid:8080" {
+		t.Fatalf("/healthz = %v", health)
+	}
+	if health["lagging"] != true || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("bootstrapping replica /healthz lacks lagging+Retry-After: %v (Retry-After %q)",
+			health, w.Header().Get("Retry-After"))
+	}
+	wr := do(t, s, http.MethodGet, "/readyz", nil, nil)
+	if wr.Code != http.StatusServiceUnavailable || wr.Header().Get("Retry-After") == "" {
+		t.Fatalf("bootstrapping replica /readyz: %d (Retry-After %q), want 503 with Retry-After",
+			wr.Code, wr.Header().Get("Retry-After"))
+	}
+	var ready map[string]any
+	if err := json.Unmarshal(wr.Body.Bytes(), &ready); err != nil {
+		t.Fatalf("/readyz body %q: %v", wr.Body.String(), err)
+	}
+	if ready["state"] != "catching-up" || ready["reason"] == "" {
+		t.Fatalf("/readyz body = %v", ready)
+	}
+	// Local mutations bounce to the primary.
+	body := jsonRegion{Boxes: []jsonBox{{Lo: []float64{10, 10}, Hi: []float64{20, 20}}}}
+	wm := do(t, s, http.MethodPut, "/layers/towns/objects/x", body, nil)
+	if wm.Code != http.StatusServiceUnavailable ||
+		wm.Header().Get(PrimaryHeader) != "http://primary.invalid:8080" ||
+		wm.Header().Get("Retry-After") == "" {
+		t.Fatalf("replica mutation: %d (%s %q, Retry-After %q)", wm.Code, PrimaryHeader,
+			wm.Header().Get(PrimaryHeader), wm.Header().Get("Retry-After"))
+	}
+	// Snapshot load would desync the replica: refused the same way.
+	if w := do(t, s, http.MethodPost, "/snapshot", map[string]any{"version": 2}, nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /snapshot on replica: %d, want 503", w.Code)
+	}
+	// /stats grows the replication section.
+	var stats statsResponse
+	do(t, s, http.MethodGet, "/stats", nil, &stats)
+	if stats.Replication == nil || stats.Replication.Primary != "http://primary.invalid:8080" {
+		t.Fatalf("/stats replication = %+v", stats.Replication)
+	}
+}
+
+func TestReplEndpointsRequireDurableMode(t *testing.T) {
+	s, _ := newTestServer(t)
+	if w := do(t, s, http.MethodGet, "/repl/snapshot", nil, nil); w.Code != http.StatusConflict {
+		t.Fatalf("/repl/snapshot on non-durable: %d, want 409", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/repl/wal", nil, nil); w.Code != http.StatusConflict {
+		t.Fatalf("/repl/wal on non-durable: %d, want 409", w.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/repl/promote", nil, nil); w.Code != http.StatusConflict {
+		t.Fatalf("/repl/promote on non-replica: %d, want 409", w.Code)
+	}
+}
+
+func TestReplSnapshotEndpoint(t *testing.T) {
+	s, db := newDurableServer(t, t.TempDir())
+	defer db.Close()
+	putTestObject(t, s, "towns", "a")
+	putTestObject(t, s, "towns", "b")
+
+	// No checkpoint yet: 404, the replica tails from LSN 0.
+	if w := do(t, s, http.MethodGet, "/repl/snapshot", nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("/repl/snapshot before checkpoint: %d, want 404", w.Code)
+	}
+
+	lsn, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, http.MethodGet, "/repl/snapshot", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/repl/snapshot: %d %s", w.Code, w.Body.String())
+	}
+	if got, want := w.Header().Get(repl.SnapshotLSNHeader), strconv.FormatUint(lsn, 10); got != want {
+		t.Fatalf("%s = %q, want %q (checkpoint LSN)", repl.SnapshotLSNHeader, got, want)
+	}
+	// The body is a loadable binary snapshot reproducing the store.
+	st, err := spatialdb.LoadBinary(bytes.NewReader(w.Body.Bytes()), spatialdb.RTree)
+	if err != nil {
+		t.Fatalf("snapshot body does not load: %v", err)
+	}
+	if st.Layer("towns") == nil || st.Layer("towns").Len() != 2 {
+		t.Fatalf("snapshot store layers = %v", st.LayerNames())
+	}
+}
+
+func TestReplWALStreamEndpoint(t *testing.T) {
+	s, db := newDurableServer(t, t.TempDir())
+	defer db.Close()
+	putTestObject(t, s, "towns", "a")
+	putTestObject(t, s, "towns", "b")
+	putTestObject(t, s, "towns", "c")
+
+	// Bad cursor: 400 before the stream starts.
+	if w := do(t, s, http.MethodGet, "/repl/wal?from=nope", nil, nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("/repl/wal?from=nope: %d, want 400", w.Code)
+	}
+
+	// The wire protocol end to end, through the real transport: resume
+	// from LSN 1 and receive exactly records 2..3 (each put is one WAL
+	// record).
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	tr := &repl.HTTPTransport{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stream, err := tr.OpenWAL(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	var lsns []uint64
+	for len(lsns) < 2 {
+		rec, err := stream.Next()
+		if err != nil {
+			t.Fatalf("Next after %v: %v", lsns, err)
+		}
+		if rec.Heartbeat {
+			continue
+		}
+		if rec.DurableLSN != db.DurableLSN() {
+			t.Fatalf("record %d carries durable_lsn %d, want %d", rec.LSN, rec.DurableLSN, db.DurableLSN())
+		}
+		if _, err := spatialdb.DecodeMutation(rec.Data); err != nil {
+			t.Fatalf("record %d payload does not decode: %v", rec.LSN, err)
+		}
+		lsns = append(lsns, rec.LSN)
+	}
+	if lsns[0] != 2 || lsns[1] != 3 {
+		t.Fatalf("streamed LSNs %v, want [2 3]", lsns)
+	}
+
+	// Truncate past the cursor: the resume comes back 410 → ErrTruncated.
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.OpenWAL(ctx, 1); !errors.Is(err, wal.ErrTruncated) {
+		t.Fatalf("OpenWAL behind retention: %v, want wal.ErrTruncated", err)
+	}
+}
+
+func TestReplWALStreamDrains(t *testing.T) {
+	s, db := newDurableServer(t, t.TempDir())
+	defer db.Close()
+	putTestObject(t, s, "towns", "a")
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	tr := &repl.HTTPTransport{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stream, err := tr.OpenWAL(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	// Drain the pending records, then BeginDrain: the stream must end
+	// with an end record followed by a clean EOF.
+	sawEnd := false
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		s.BeginDrain()
+	}()
+	for {
+		rec, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if rec.End {
+			sawEnd = true
+			if rec.DurableLSN != db.DurableLSN() {
+				t.Fatalf("end record durable_lsn %d, want %d", rec.DurableLSN, db.DurableLSN())
+			}
+		}
+	}
+	if !sawEnd {
+		t.Fatal("drained stream closed without an end record")
+	}
+}

@@ -19,6 +19,9 @@
 //	GET    /debug/vars                          expvar metrics
 //	GET    /healthz                             liveness probe
 //	GET    /readyz                              readiness probe (503 until recovery completes)
+//	GET    /repl/snapshot                       stream the newest checkpoint to a replica (durable mode)
+//	GET    /repl/wal?from=N                     long-poll NDJSON WAL stream for replicas (durable mode)
+//	POST   /repl/promote                        re-arm a caught-up replica as a writable primary
 //
 // docs/API.md is the complete wire reference; DESIGN.md §3 describes the
 // concurrency model this package implements.
@@ -57,9 +60,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/query"
+	"repro/internal/repl"
 	"repro/internal/spatialdb"
 	"repro/internal/wal"
 )
@@ -108,6 +113,19 @@ type Options struct {
 	// (≤ 0: DefaultMaxQueueWait). The request's own deadline still
 	// applies, whichever comes first.
 	MaxQueueWait time.Duration
+	// Replica, when set, marks this server as a read replica tailing a
+	// primary (boolqd -replica-of). The store passed to New must be
+	// Replica.Store(); New hooks the replica's bootstrap swaps into
+	// swapStore so the plan cache and generation follow snapshot installs.
+	// Mutations are rejected with 503 + the primary's address, /readyz
+	// gates on catch-up, and POST /repl/promote re-arms the node as a
+	// writable primary. Mutually exclusive with Durable.
+	Replica *repl.Replica
+	// RejectStaleReads additionally gates /query and /query/batch on the
+	// replica's readiness (bootstrap, contact, staleness bound): a lagging
+	// replica 503s reads instead of serving stale results. Only meaningful
+	// with Replica set.
+	RejectStaleReads bool
 }
 
 // Server is the boolqd HTTP service over one spatial store.
@@ -122,12 +140,23 @@ type Server struct {
 	workers      int
 	batchWorkers int
 	queryTimeout time.Duration
-	durable      *wal.DB // nil unless running over a WAL data dir
+	durable      *wal.DB       // nil unless running over a WAL data dir
+	replica      *repl.Replica // nil unless running as a read replica
+	rejectStale  bool          // 503 reads while the replica lags
 	staticPlan   bool
 	tuner        *query.Tuner // run-cost feedback for the adaptive planner
 	readGate     *admission   // plan-executing reads; nil: unbounded
 	mutGate      *admission   // mutations; nil: unbounded
 	mux          *http.ServeMux
+
+	// draining flips on BeginDrain (SIGTERM): /readyz 503s so load
+	// balancers stop routing here, and open /repl/wal streams are sealed
+	// with an end record so replicas reconnect elsewhere. In-flight
+	// requests still finish — connection teardown is http.Server.Shutdown's
+	// job.
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainc    chan struct{} // closed by BeginDrain
 }
 
 // New returns a server over the given store.
@@ -148,10 +177,16 @@ func New(store *spatialdb.Store, opts Options) *Server {
 		batchWorkers: bw,
 		queryTimeout: qt,
 		durable:      opts.Durable,
+		replica:      opts.Replica,
+		rejectStale:  opts.RejectStaleReads,
 		staticPlan:   opts.StaticPlan,
 		tuner:        query.NewTuner(opts.TunerSize),
 		readGate:     newAdmission(opts.MaxInflight, opts.ShedQueue, opts.MaxQueueWait),
 		mutGate:      newAdmission(opts.MaxInflight, opts.ShedQueue, opts.MaxQueueWait),
+		drainc:       make(chan struct{}),
+	}
+	if s.replica != nil {
+		s.replica.SetOnSwap(s.swapStore)
 	}
 	s.vars = s.expvarMap()
 	publishOnce.Do(func() { expvar.Publish("boolqd", s.vars) })
@@ -216,7 +251,24 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /repl/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /repl/wal", s.handleReplWAL)
+	s.mux.HandleFunc("POST /repl/promote", s.handleReplPromote)
 }
+
+// BeginDrain starts a graceful shutdown: /readyz flips to 503 and open
+// /repl/wal streams emit an end record and return, so replicas and load
+// balancers move on before the listener closes. Idempotent; call it
+// before http.Server.Shutdown.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainc)
+	})
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // writeJSON writes v as the response body with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {

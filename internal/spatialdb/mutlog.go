@@ -86,6 +86,13 @@ var ErrDurability = errors.New("spatialdb: mutation not durably logged")
 // ErrDurability and ErrDegraded.
 var ErrDegraded = errors.New("spatialdb: store is degraded to read-only")
 
+// ErrReplica marks replica mode: the store applies its primary's record
+// stream and nothing else, so local mutations are rejected before they
+// touch memory. Callers should surface it as 503 plus the primary's
+// address (the client's write belongs there), distinct from ErrDegraded:
+// a replica is healthy, it is just not the writer.
+var ErrReplica = errors.New("spatialdb: store is a read-only replica")
+
 // SetDegraded flips the store's degraded read-only gate. The durable
 // write path (internal/wal) raises it when WAL retries are exhausted and
 // lowers it after its recovery probe has re-armed the log and
@@ -97,14 +104,29 @@ func (s *Store) SetDegraded(on bool) { s.degraded.Store(on) }
 // Degraded reports whether the degraded read-only gate is raised.
 func (s *Store) Degraded() bool { return s.degraded.Load() }
 
-// admitMutationLocked is the admission gate every mutating entry point
-// passes before changing state: while the store is degraded the mutation
-// is rejected up front, keeping memory and log convergent during repair.
-// The caller must hold the write lock (the gate must be ordered against
-// the SetDegraded(true) a failing sink call triggers under that lock).
+// SetReplica raises the replica gate: local mutating entry points fail
+// with ErrReplica while shipped records keep applying through
+// ApplyReplicated. internal/repl raises it on a store built from the
+// primary's snapshot and lowers it on promotion.
+func (s *Store) SetReplica(on bool) { s.replica.Store(on) }
+
+// IsReplica reports whether the replica gate is raised.
+func (s *Store) IsReplica() bool { return s.replica.Load() }
+
+// admitMutationLocked is the admission gate every LOCAL mutating entry
+// point passes before changing state: a replica rejects the write
+// outright (it belongs on the primary), and while the store is degraded
+// the mutation is rejected up front, keeping memory and log convergent
+// during repair. The replicated-apply path (ApplyReplicated) must NOT
+// pass this gate — shipped records keep applying in both modes. The
+// caller must hold the write lock (the gate must be ordered against the
+// SetDegraded(true) a failing sink call triggers under that lock).
 //
 //boolq:locked mu
 func (s *Store) admitMutationLocked() error {
+	if s.replica.Load() {
+		return ErrReplica
+	}
 	if s.degraded.Load() {
 		return ErrDegraded
 	}
@@ -162,6 +184,29 @@ func mutObject(o Object) MutObject {
 func (s *Store) ApplyMutation(m *Mutation) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyMutationLocked(m)
+}
+
+// ApplyReplicated applies one record of the primary's WAL stream to a
+// replica store. It is the same replay as ApplyMutation under the same
+// write lock, as a separate entry point because its admission rules are
+// inverted: it bypasses admitMutationLocked — the gate exists to turn
+// LOCAL writes away, while shipped records must keep applying in replica
+// mode — and it must never re-log, because the record is already durable
+// on the primary and the replica owns no WAL.
+//
+//boolq:mutation replica
+func (s *Store) ApplyReplicated(m *Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyMutationLocked(m)
+}
+
+// applyMutationLocked is the shared replay body. The caller must hold
+// the write lock.
+//
+//boolq:locked mu
+func (s *Store) applyMutationLocked(m *Mutation) error {
 	switch m.Op {
 	case OpCreateLayer:
 		if _, ok := s.layers[m.Layer]; !ok {

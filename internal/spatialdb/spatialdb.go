@@ -416,6 +416,7 @@ type Store struct {
 	mu       sync.RWMutex // guards layers, names, nextID, sink, altKinds
 	epoch    atomic.Uint64
 	degraded atomic.Bool       // read-only gate; see SetDegraded (mutlog.go)
+	replica  atomic.Bool       // replica gate; see SetReplica (mutlog.go)
 	layers   map[string]*Layer //boolq:guardedby mu
 	names    []string          //boolq:guardedby mu
 	nextID   int64             //boolq:guardedby mu

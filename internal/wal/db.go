@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/bbox"
+	"repro/internal/retry"
 	"repro/internal/spatialdb"
 	"repro/internal/vfs"
 )
@@ -77,6 +79,13 @@ type DB struct {
 	snapLoaded  uint64 // LSN of the snapshot recovery started from (0: none)
 	orphanTemps int64  // orphan temp files pruned at boot
 	keep        int    // snapshot generations to retain
+
+	// Snapshot pins: a replica fetching snap-<lsn>.bqs holds a reference
+	// so pruneSnapshots never deletes the file mid-stream. pinMu also
+	// serializes AcquireSnapshot's scan-then-pin against the prune's
+	// scan-then-delete; the map is lazily allocated.
+	pinMu sync.Mutex
+	pins  map[uint64]int
 
 	encBuf []byte // sink scratch; the store's write lock serializes access
 
@@ -388,12 +397,9 @@ func (db *DB) logMutation(m *spatialdb.Mutation) error {
 		return nil
 	}
 	db.sinkErrs.Add(1)
-	backoff := db.retryBackoff
+	pol := retry.Policy{Base: db.retryBackoff, Cap: maxRetryBackoff}
 	for attempt := 0; attempt < db.retryMax; attempt++ {
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > maxRetryBackoff {
-			backoff = maxRetryBackoff
-		}
+		time.Sleep(pol.Delay(attempt))
 		db.walRetries.Add(1)
 		if rerr := db.log.Rearm(); rerr != nil {
 			err = rerr
@@ -441,19 +447,16 @@ func (db *DB) probeLoop() {
 			return
 		case <-db.probeKick:
 		}
-		backoff := db.probeInterval
-		for db.degraded.Load() {
+		pol := retry.Policy{Base: db.probeInterval, Cap: maxProbeBackoff}
+		for attempt := 0; db.degraded.Load(); attempt++ {
 			select {
 			case <-db.stopc:
 				return
-			case <-time.After(backoff):
+			case <-time.After(pol.Delay(attempt)):
 			}
 			db.probes.Add(1)
 			if db.tryRecover() {
 				break
-			}
-			if backoff *= 2; backoff > maxProbeBackoff {
-				backoff = maxProbeBackoff
 			}
 		}
 	}
@@ -556,8 +559,14 @@ func (db *DB) checkpoint(force bool) (uint64, error) {
 	return lsn, nil
 }
 
-// pruneSnapshots deletes all but the newest keep snapshots.
+// pruneSnapshots deletes all but the newest keep snapshots, skipping any
+// that a replica fetch currently pins (they go on a later pass, once the
+// stream finishes). Holding pinMu across the scan-and-delete serializes
+// against AcquireSnapshot's scan-and-pin, so a snapshot can never be
+// deleted between a replica choosing it and pinning it.
 func (db *DB) pruneSnapshots() error {
+	db.pinMu.Lock()
+	defer db.pinMu.Unlock()
 	lsns, err := scanSnapshots(db.fs, db.dir)
 	if err != nil {
 		return err
@@ -565,14 +574,71 @@ func (db *DB) pruneSnapshots() error {
 	if len(lsns) <= db.keep {
 		return nil
 	}
+	removed := false
 	for _, lsn := range lsns[:len(lsns)-db.keep] {
+		if db.pins[lsn] > 0 {
+			continue
+		}
 		name := filepath.Join(db.dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
 		if err := db.fs.Remove(name); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
+		removed = true
+	}
+	if !removed {
+		return nil
 	}
 	return syncDir(db.fs, db.dir)
 }
+
+// ErrNoSnapshot is returned by AcquireSnapshot when the directory holds
+// no checkpoint yet; a replica then bootstraps from an empty store and
+// tails the WAL from LSN 0.
+var ErrNoSnapshot = errors.New("wal: no snapshot available")
+
+// AcquireSnapshot opens the newest snapshot for streaming and pins it
+// against pruning until release is called. The returned LSN is the
+// snapshot's boundary: every mutation at an LSN > lsn must be replayed
+// on top of it. release is safe to call exactly once.
+func (db *DB) AcquireSnapshot() (lsn uint64, r io.ReadCloser, release func(), err error) {
+	db.pinMu.Lock()
+	lsns, err := scanSnapshots(db.fs, db.dir)
+	if err != nil {
+		db.pinMu.Unlock()
+		return 0, nil, nil, err
+	}
+	if len(lsns) == 0 {
+		db.pinMu.Unlock()
+		return 0, nil, nil, ErrNoSnapshot
+	}
+	lsn = lsns[len(lsns)-1]
+	if db.pins == nil {
+		db.pins = make(map[uint64]int)
+	}
+	db.pins[lsn]++
+	db.pinMu.Unlock()
+
+	release = func() {
+		db.pinMu.Lock()
+		if db.pins[lsn] > 1 {
+			db.pins[lsn]--
+		} else {
+			delete(db.pins, lsn)
+		}
+		db.pinMu.Unlock()
+	}
+	name := filepath.Join(db.dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
+	f, err := db.fs.Open(name)
+	if err != nil {
+		release()
+		return 0, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	return lsn, f, release, nil
+}
+
+// DurableLSN is the newest LSN both applied in memory and appended to
+// the log: the position replicas measure their lag against.
+func (db *DB) DurableLSN() uint64 { return db.appliedLSN.Load() }
 
 // checkpointLoop wakes every interval and checkpoints when enough WAL
 // bytes accumulated since the last snapshot. A failed checkpoint is
@@ -595,7 +661,7 @@ func (db *DB) checkpointLoop(interval time.Duration, bytes int64) {
 			if bytes > 0 && db.log.Stats().AppendedBytes-db.ckptBytes.Load() < bytes {
 				continue
 			}
-			backoff := checkpointRetryBackoff
+			pol := retry.Policy{Base: checkpointRetryBackoff, Cap: maxCheckpointBackoff}
 			for attempt := 0; ; attempt++ {
 				_, err := db.Checkpoint() // failures are counted in ckptErrs
 				if err == nil || attempt >= checkpointRetryMax {
@@ -605,10 +671,7 @@ func (db *DB) checkpointLoop(interval time.Duration, bytes int64) {
 				select {
 				case <-db.stopc:
 					return
-				case <-time.After(backoff):
-				}
-				if backoff *= 2; backoff > maxCheckpointBackoff {
-					backoff = maxCheckpointBackoff
+				case <-time.After(pol.Delay(attempt)):
 				}
 			}
 		case <-db.stopc:

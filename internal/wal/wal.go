@@ -163,6 +163,7 @@ type Log struct {
 	dirty    bool   // unsynced bytes pending
 	err      error  // a failed write disables the log until Rearm repairs it
 	closed   bool
+	watch    chan struct{} // closed on the next successful Append (lazily made)
 
 	appends   atomic.Int64
 	bytes     atomic.Int64
@@ -336,7 +337,34 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	l.notifyLocked()
 	return lsn, nil
+}
+
+// AppendNotify returns a channel closed by the next successful Append
+// (or by Close). Long-poll readers — the replication WAL stream — wait
+// on it instead of spinning: grab the channel, read whatever is already
+// on disk, then block until the channel closes before reading again.
+func (l *Log) AppendNotify() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	if l.watch == nil {
+		l.watch = make(chan struct{})
+	}
+	return l.watch
+}
+
+// notifyLocked wakes AppendNotify waiters. Callers hold l.mu.
+func (l *Log) notifyLocked() {
+	if l.watch != nil {
+		close(l.watch)
+		l.watch = nil
+	}
 }
 
 // Sync flushes buffered records and fsyncs the active segment.
@@ -553,6 +581,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.notifyLocked() // wake long-poll readers so they observe the close
 	var firstErr error
 	if l.err == nil && l.f != nil {
 		if err := l.w.Flush(); err != nil && firstErr == nil {
